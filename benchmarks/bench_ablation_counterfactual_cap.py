@@ -1,0 +1,17 @@
+"""Ablation bench — the counterfactual cap λ bounds offline tuning cost."""
+
+from conftest import run_once
+
+from repro.experiments import run_counterfactual_cap_ablation
+
+
+def test_ablation_counterfactual_cap(benchmark, bench_settings):
+    result = run_once(benchmark, run_counterfactual_cap_ablation, bench_settings)
+    print()
+    print(
+        f"{result.name}: capped {result.paper_choice:.3f}, "
+        f"uncapped {result.ablated:.3f} {result.unit} ({result.delta_percent:+.1f}%)"
+    )
+    # The λ cap must never make the offline counterfactual more expensive than
+    # running the relational queries to completion.
+    assert result.paper_choice <= result.ablated + 1e-9

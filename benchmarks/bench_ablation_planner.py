@@ -1,0 +1,16 @@
+"""Ablation bench — graph traversal ordering: greedy vs source order."""
+
+from conftest import run_once
+
+from repro.experiments import run_planner_ablation
+
+
+def test_ablation_traversal_planner(benchmark, bench_settings):
+    result = run_once(benchmark, run_planner_ablation, bench_settings)
+    print()
+    print(
+        f"{result.name}: greedy {result.paper_choice:.4f}s, "
+        f"source order {result.ablated:.4f}s ({result.delta_percent:+.1f}%)"
+    )
+    # Greedy ordering must not be slower than naive source order.
+    assert result.paper_choice <= result.ablated * 1.05

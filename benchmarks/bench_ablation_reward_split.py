@@ -1,0 +1,17 @@
+"""Ablation bench — reward amortisation: proportional (paper) vs uniform."""
+
+from conftest import run_once
+
+from repro.experiments import run_reward_split_ablation
+
+
+def test_ablation_reward_split(benchmark, bench_settings):
+    result = run_once(benchmark, run_reward_split_ablation, bench_settings)
+    print()
+    print(
+        f"{result.name}: proportional {result.paper_choice:.3f}s, "
+        f"uniform {result.ablated:.3f}s ({result.delta_percent:+.1f}%)"
+    )
+    # Both policies must complete; the proportional split should not be
+    # substantially worse than the uniform ablation.
+    assert result.paper_choice <= result.ablated * 1.25

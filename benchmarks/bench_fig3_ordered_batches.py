@@ -1,0 +1,25 @@
+"""Benchmark E2 — regenerate Figure 3 (per-batch TTI, ordered workloads)."""
+
+from conftest import run_once
+
+from repro.experiments import build_suite, format_store_variants, run_store_variants
+
+GROUPS = ["YAGO", "WatDiv-L", "WatDiv-S", "WatDiv-F", "WatDiv-C", "Bio2RDF"]
+
+
+def test_fig3_ordered_workloads(benchmark, bench_settings):
+    suite = build_suite(bench_settings, groups=GROUPS)
+    report = run_once(
+        benchmark, run_store_variants, bench_settings, orders=["ordered"], suite=suite
+    )
+    print()
+    print(format_store_variants(report))
+
+    # RDB-GDB never loses to RDB-only, and wins clearly on the groups whose
+    # workloads are dominated by complex queries (the paper's Figure 3 shows
+    # RDB-GDB lowest in all cases).
+    for comparison in report.comparisons:
+        assert comparison.total_tti("RDB-GDB") <= comparison.total_tti("RDB-only") * 1.001
+    for group in ("YAGO", "WatDiv-C", "Bio2RDF"):
+        comparison = report.find(group, "ordered")
+        assert comparison.total_tti("RDB-GDB") < comparison.total_tti("RDB-only")

@@ -1,0 +1,22 @@
+"""Benchmark E3 — regenerate Figure 4 (per-batch TTI, random workloads)."""
+
+from conftest import run_once
+
+from repro.experiments import build_suite, format_store_variants, run_store_variants
+
+GROUPS = ["YAGO", "WatDiv-L", "WatDiv-S", "WatDiv-F", "WatDiv-C", "Bio2RDF"]
+
+
+def test_fig4_random_workloads(benchmark, bench_settings):
+    suite = build_suite(bench_settings, groups=GROUPS)
+    report = run_once(
+        benchmark, run_store_variants, bench_settings, orders=["random"], suite=suite
+    )
+    print()
+    print(format_store_variants(report))
+
+    for comparison in report.comparisons:
+        assert comparison.total_tti("RDB-GDB") <= comparison.total_tti("RDB-only") * 1.001
+    for group in ("YAGO", "WatDiv-C", "Bio2RDF"):
+        comparison = report.find(group, "random")
+        assert comparison.total_tti("RDB-GDB") < comparison.total_tti("RDB-only")

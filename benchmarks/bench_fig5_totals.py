@@ -1,0 +1,42 @@
+"""Benchmark E4 — regenerate Figure 5 (total TTI per workload group).
+
+This also checks the paper's headline claims: RDB-GDB improves noticeably
+over both RDB-only (paper: up to average 43.72%) and RDB-views (paper: up to
+average 63.01%), and ordered vs random workloads make little difference to
+RDB-GDB's total TTI.
+"""
+
+from conftest import run_once
+
+from repro.experiments import build_suite, run_store_variants
+
+GROUPS = ["YAGO", "WatDiv-C", "Bio2RDF"]
+
+
+def test_fig5_total_tti_and_headline_improvements(benchmark, bench_settings):
+    suite = build_suite(bench_settings, groups=GROUPS)
+    report = run_once(
+        benchmark, run_store_variants, bench_settings, orders=["ordered", "random"], suite=suite
+    )
+    print()
+    print("Figure 5 — total TTI per workload group (seconds)")
+    for comparison in report.comparisons:
+        print(
+            f"  {comparison.group:<9} {comparison.order:<8} "
+            f"RDB-only {comparison.total_tti('RDB-only'):7.3f}  "
+            f"RDB-views {comparison.total_tti('RDB-views'):7.3f}  "
+            f"RDB-GDB {comparison.total_tti('RDB-GDB'):7.3f}"
+        )
+    avg_only = report.average_improvement("RDB-only")
+    avg_views = report.average_improvement("RDB-views")
+    print(f"  average improvement vs RDB-only : {avg_only:5.1f}%  (paper: 43.72%)")
+    print(f"  average improvement vs RDB-views: {avg_views:5.1f}%  (paper: 63.01%)")
+
+    assert avg_only > 10.0
+    assert avg_views > 10.0
+
+    # Ordered vs random makes little difference to RDB-GDB (paper, Figure 5).
+    for group in GROUPS:
+        ordered = report.find(group, "ordered").total_tti("RDB-GDB")
+        randomised = report.find(group, "random").total_tti("RDB-GDB")
+        assert abs(ordered - randomised) / max(ordered, randomised) < 0.5

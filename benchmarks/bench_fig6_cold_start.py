@@ -1,0 +1,21 @@
+"""Benchmark E6 — regenerate Figure 6 (cold start of the graph store)."""
+
+from conftest import run_once
+
+from repro.experiments import format_cold_start, run_cold_start
+
+
+def test_fig6_cold_start(benchmark, bench_settings):
+    points = run_once(benchmark, run_cold_start, bench_settings)
+    print()
+    print(format_cold_start(points))
+
+    for order in ("ordered", "random"):
+        series = [p for p in points if p.order == order]
+        series.sort(key=lambda p: p.batch_index)
+        # The very first batch is served almost entirely by the relational
+        # store (the graph store starts empty)...
+        assert series[0].graph_share < 0.2
+        # ...but by the later batches the graph store carries a meaningful
+        # share of the cost (the paper's "rises rapidly from the third batch").
+        assert max(p.graph_share for p in series[2:]) > 0.2

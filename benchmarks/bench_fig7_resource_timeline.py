@@ -1,0 +1,18 @@
+"""Benchmark E8 — regenerate Figure 7 (IO/CPU consumed by the graph store)."""
+
+from conftest import run_once
+
+from repro.experiments import format_resource_timeline, run_resource_timeline
+
+
+def test_fig7_resource_timeline(benchmark, bench_settings):
+    samples = run_once(benchmark, run_resource_timeline, bench_settings, spare_io=0.4)
+    print()
+    print(format_resource_timeline(samples))
+
+    assert len(samples) >= 3
+    # Consumption fluctuates early (partition migrations) and settles to a
+    # small steady-state value by the end of the run.
+    peak_io = max(sample.io_percent for sample in samples)
+    assert samples[-1].io_percent <= peak_io
+    assert all(0.0 <= sample.cpu_percent <= 100.0 for sample in samples)

@@ -1,0 +1,20 @@
+"""Benchmark E9 — regenerate Figure 8 (DOTIL vs one-off, LRU, ideal tuning)."""
+
+from conftest import run_once
+
+from repro.experiments import format_tuner_comparison, run_tuner_comparison
+
+
+def test_fig8_tuner_comparison(benchmark, bench_settings):
+    comparisons = run_once(benchmark, run_tuner_comparison, bench_settings)
+    print()
+    print(format_tuner_comparison(comparisons))
+
+    for comparison in comparisons:
+        dotil = comparison.total_tti("DOTIL")
+        # DOTIL should not lose to the static one-off policy or to the LRU
+        # heuristic, and should stay within a reasonable factor of the
+        # clairvoyant ideal mode.
+        assert dotil <= comparison.total_tti("one-off") * 1.05
+        assert dotil <= comparison.total_tti("LRU") * 1.05
+        assert dotil <= comparison.total_tti("ideal") * 2.0

@@ -1,0 +1,19 @@
+"""Benchmark E1 — regenerate Table 1 (relational vs graph latency by size)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_store_scaling(benchmark, bench_settings):
+    rows = run_once(benchmark, run_table1, base_triples=800, steps=10, seed=bench_settings.seed)
+    print()
+    print(format_table1(rows))
+
+    # Shape assertions mirroring the paper: relational grows steeply with the
+    # data size (MySQL: 11 s -> 99 s over 10x), the graph store grows far more
+    # slowly (Neo4j: 0.6 s -> 4 s), and the gap widens with scale.
+    assert rows[-1].relational_seconds > rows[0].relational_seconds * 4
+    assert rows[-1].graph_seconds < rows[0].graph_seconds * 8
+    assert rows[-1].speedup > rows[0].speedup
+    assert all(row.relational_seconds > row.graph_seconds for row in rows)

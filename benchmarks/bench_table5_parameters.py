@@ -1,0 +1,23 @@
+"""Benchmark E5 — regenerate Table 5 (DOTIL parameter sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import format_parameter_sweep, run_parameter_sweep
+
+
+def test_table5_parameter_sweep(benchmark, bench_settings):
+    rows = run_once(benchmark, run_parameter_sweep, bench_settings)
+    print()
+    print(format_parameter_sweep(rows))
+
+    parameters = {row.parameter for row in rows}
+    assert parameters == {"r_bg", "prob", "alpha", "gamma", "lam"}
+    # Every configuration completes and produces a finite TTI and a
+    # non-negative learned Q-matrix.
+    assert all(row.tti > 0 for row in rows)
+    assert all(row.qmatrix_total >= 0 for row in rows)
+
+    # TTI is largely insensitive to prob (the paper's observation): the spread
+    # across prob values stays within 50% of the best value.
+    prob_ttis = [row.tti for row in rows if row.parameter == "prob"]
+    assert max(prob_ttis) <= min(prob_ttis) * 1.5

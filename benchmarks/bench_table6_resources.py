@@ -1,0 +1,19 @@
+"""Benchmark E7 — regenerate Table 6 (slowdown with limited spare resources)."""
+
+from conftest import run_once
+
+from repro.experiments import format_resource_slowdown, run_resource_slowdown
+
+
+def test_table6_resource_slowdown(benchmark, bench_settings):
+    rows = run_once(benchmark, run_resource_slowdown, bench_settings)
+    print()
+    print(format_resource_slowdown(rows))
+
+    by_key = {(row.resource, row.spare_fraction): row.slowdown_percent for row in rows}
+    # IO limits barely matter (< 2%), CPU limits hurt more, and tighter budgets
+    # hurt more than looser ones — the ordering reported in the paper.
+    assert by_key[("io", 0.4)] < 2.0
+    assert by_key[("io", 0.2)] < 5.0
+    assert by_key[("cpu", 0.2)] > by_key[("cpu", 0.4)]
+    assert by_key[("cpu", 0.2)] > by_key[("io", 0.2)]

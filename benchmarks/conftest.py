@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper through the
+corresponding driver in :mod:`repro.experiments` and prints the same rows /
+series the paper reports.  ``pytest-benchmark`` measures the wall-clock cost
+of the driver itself; the *reported numbers inside* each experiment come from
+the deterministic cost model, so they are stable across machines.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentSettings  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """The dataset scale and protocol used by every benchmark."""
+    return ExperimentSettings(
+        yago_triples=5000,
+        watdiv_triples=6000,
+        bio2rdf_triples=6000,
+        repetitions=3,
+        discard=1,
+        seed=7,
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The package is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in offline environments without the ``wheel``
+package); this fallback keeps ``pytest`` runnable straight from a fresh
+checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

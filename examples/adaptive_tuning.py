@@ -1,0 +1,86 @@
+"""Adaptive physical design under a shifting workload (DOTIL vs baselines).
+
+The property the paper emphasises is *adaptivity*: the workload changes over
+time, so a static physical design (one-off) or a frequency heuristic (LRU)
+leaves performance on the table, while DOTIL keeps re-learning which triple
+partitions deserve the limited graph-store budget.
+
+This example builds a workload whose focus shifts half-way through — the
+first batches ask YAGO "academic lineage" questions, the later batches ask
+"family" questions — and compares the per-batch time-to-insight of the
+dual-store structure under four tuning policies.
+
+Run with::
+
+    python examples/adaptive_tuning.py
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import (
+    Dotil,
+    DotilConfig,
+    IdealTuner,
+    LRUTuner,
+    OneOffTuner,
+    RDBGDB,
+    RDBOnly,
+    generate_yago,
+    run_workload,
+    yago_workload,
+)
+from repro.sparql import SelectQuery
+
+
+def shifting_batches(dataset) -> List[List[SelectQuery]]:
+    """Six batches: the first three academic-themed, the last three family-themed."""
+    workload = yago_workload(dataset, seed=11)
+    academic = [e.query for e in workload.queries if "advisor" in e.template or "example1" in e.template]
+    family = [e.query for e in workload.queries if "couple" in e.template or "parent" in e.template]
+
+    def chunks(queries, size):
+        return [queries[i : i + size] for i in range(0, len(queries), size)]
+
+    return chunks(academic, max(1, len(academic) // 3)) + chunks(family, max(1, len(family) // 3))
+
+
+def main() -> None:
+    dataset = generate_yago(target_triples=8000, seed=7)
+    batches = shifting_batches(dataset)
+    print(f"knowledge graph: {len(dataset.triples)} triples; "
+          f"{len(batches)} batches, workload focus shifts after batch {len(batches) // 2}\n")
+
+    # A tight graph-store budget (16% of the knowledge graph) cannot hold the
+    # partitions of both workload phases at once, so a static design has to
+    # pick a side — that is where adaptivity pays off.
+    config = DotilConfig(r_bg=0.16, prob=1.0, gamma=0.7, lam=4.5)
+    policies = {
+        "RDB-only (no graph store)": RDBOnly(),
+        "dual store + DOTIL": RDBGDB(config=config),
+        "dual store + one-off": RDBGDB(config=config, tuner_factory=lambda dual: OneOffTuner(dual)),
+        "dual store + LRU": RDBGDB(config=config, tuner_factory=lambda dual: LRUTuner(dual)),
+        "dual store + ideal": RDBGDB(config=config, tuner_factory=lambda dual: IdealTuner(dual)),
+    }
+
+    print(f"{'policy':<28} " + " ".join(f"batch{i + 1:>2}" for i in range(len(batches))) + "    total")
+    results = {}
+    for name, variant in policies.items():
+        variant.load(dataset.triples)
+        result = run_workload(variant, batches, label=name)
+        results[name] = result
+        series = " ".join(f"{batch.tti:7.3f}" for batch in result.batches)
+        print(f"{name:<28} {series}  {result.total_tti:7.3f}")
+
+    dotil_total = results["dual store + DOTIL"].total_tti
+    only_total = results["RDB-only (no graph store)"].total_tti
+    print(f"\nDOTIL improves total time-to-insight by "
+          f"{(only_total - dotil_total) / only_total * 100:.1f}% over the relational-only store")
+    print("The static one-off heuristic cannot cover the shifting hot set within the tight "
+          "budget, and LRU reacts a batch late; DOTIL re-learns the valuable partitions after "
+          "the shift and tracks the clairvoyant ideal mode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Relational store vs graph store on a growing knowledge graph (paper Table 1).
+
+The paper motivates the dual-store structure with a simple measurement: the
+same three-pattern complex query is answered by MySQL and Neo4j while the
+knowledge graph grows from 500k to 5M triples; MySQL's latency grows roughly
+linearly while Neo4j's stays nearly flat.
+
+This example regenerates that comparison with the library's two engines (the
+work-accounted relational store and the adjacency-list graph store) on
+synthetic YAGO slices, prints the Table 1-style rows, and reports where the
+gap between the two engines ends up.
+
+Run with::
+
+    python examples/store_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table1, run_table1
+
+
+def main() -> None:
+    print("Reproducing Table 1 (scaled to laptop-size synthetic data)\n")
+    rows = run_table1(base_triples=1000, steps=8, seed=7)
+    print(format_table1(rows))
+
+    first, last = rows[0], rows[-1]
+    relational_growth = last.relational_seconds / first.relational_seconds
+    graph_growth = last.graph_seconds / first.graph_seconds
+    print("\nObservations (compare with the paper's Table 1):")
+    print(f"  * data grew {last.triples / first.triples:.1f}x")
+    print(f"  * relational latency grew {relational_growth:.1f}x (MySQL: ~9x over its sweep)")
+    print(f"  * graph latency grew {graph_growth:.1f}x (Neo4j: stays within a few seconds)")
+    print(f"  * at the largest size the graph store answers the query "
+          f"{last.speedup:.1f}x faster than the relational store")
+
+
+if __name__ == "__main__":
+    main()

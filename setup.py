@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments without the ``wheel`` package
+(offline CI containers) via ``python setup.py develop`` or
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro — reproduction of "A Dual-Store Structure for Knowledge Graphs".
+
+The package implements the paper's dual-store structure (a relational master
+store plus a native-graph accelerator), its reinforcement-learning physical
+design tuner DOTIL, the query processor that spans both stores, and every
+substrate the evaluation needs: an RDF data model, a SPARQL subset, a
+work-accounted relational engine, an adjacency-list graph engine, a
+deterministic cost model, and synthetic YAGO/WatDiv/Bio2RDF-like datasets and
+workloads.
+
+Quickstart
+----------
+>>> from repro import DualStore, Dotil, generate_yago, yago_workload
+>>> dataset = generate_yago(target_triples=2000)
+>>> dual = DualStore().load(dataset.triples)
+>>> tuner = Dotil(dual)
+>>> workload = yago_workload(dataset)
+>>> batch = workload.batches("ordered")[0]
+>>> records = [dual.run_query(q) for q in batch]
+"""
+
+from repro.core import (
+    DEFAULT_CONFIG,
+    PAPER_TUNED_CONFIG,
+    BaseTuner,
+    BatchResult,
+    ComplexSubquery,
+    ComplexSubqueryIdentifier,
+    Dotil,
+    DotilConfig,
+    DualStore,
+    DualStoreDesign,
+    IdealTuner,
+    LRUTuner,
+    OneOffTuner,
+    QueryProcessor,
+    QueryRecord,
+    RDBGDB,
+    RDBOnly,
+    RDBViews,
+    StaticTuner,
+    StoreVariant,
+    TuningReport,
+    WorkloadResult,
+    improvement_percent,
+    run_workload,
+    run_workload_repeated,
+)
+from repro.cost import CostModel, DEFAULT_COST_MODEL, ResourceThrottle, SimulatedClock, WorkCounters
+from repro.graphstore import GraphStore, PropertyGraph
+from repro.rdf import IRI, Literal, TripleSet, Triple, Variable
+from repro.relstore import RelationalStore, SQLiteBackend
+from repro.sparql import SelectQuery, TriplePattern, parse_query
+from repro.workload import (
+    Workload,
+    bio2rdf_workload,
+    generate_bio2rdf,
+    generate_watdiv,
+    generate_yago,
+    watdiv_workload,
+    yago_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DualStore",
+    "Dotil",
+    "DotilConfig",
+    "DEFAULT_CONFIG",
+    "PAPER_TUNED_CONFIG",
+    "ComplexSubquery",
+    "ComplexSubqueryIdentifier",
+    "DualStoreDesign",
+    "QueryProcessor",
+    "BaseTuner",
+    "OneOffTuner",
+    "LRUTuner",
+    "IdealTuner",
+    "StaticTuner",
+    "TuningReport",
+    "StoreVariant",
+    "RDBOnly",
+    "RDBViews",
+    "RDBGDB",
+    "QueryRecord",
+    "BatchResult",
+    "WorkloadResult",
+    "improvement_percent",
+    "run_workload",
+    "run_workload_repeated",
+    # stores
+    "RelationalStore",
+    "SQLiteBackend",
+    "GraphStore",
+    "PropertyGraph",
+    # cost
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "WorkCounters",
+    "SimulatedClock",
+    "ResourceThrottle",
+    # rdf / sparql
+    "IRI",
+    "Literal",
+    "Triple",
+    "TripleSet",
+    "Variable",
+    "SelectQuery",
+    "TriplePattern",
+    "parse_query",
+    # workloads
+    "Workload",
+    "generate_yago",
+    "yago_workload",
+    "generate_watdiv",
+    "watdiv_workload",
+    "generate_bio2rdf",
+    "bio2rdf_workload",
+]

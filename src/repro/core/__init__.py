@@ -1,0 +1,71 @@
+"""Core of the reproduction: identifier, tuners, query processor, dual store, variants."""
+
+from repro.core.baseline_tuners import IdealTuner, LRUTuner, OneOffTuner, StaticTuner
+from repro.core.config import DEFAULT_CONFIG, PAPER_TUNED_CONFIG, DotilConfig
+from repro.core.dualstore import DualStore
+from repro.core.identifier import (
+    ComplexSubquery,
+    ComplexSubqueryIdentifier,
+    identify_complex_subquery,
+)
+from repro.core.metrics import BatchResult, QueryRecord, WorkloadResult, improvement_percent
+from repro.core.partitions import DualStoreDesign, TriplePartition
+from repro.core.processor import (
+    ProcessedQuery,
+    QueryProcessor,
+    ROUTE_GRAPH,
+    ROUTE_RELATIONAL,
+    ROUTE_SPLIT,
+)
+from repro.core.qlearning import (
+    ACTION_KEEP,
+    ACTION_MOVE,
+    QMatrix,
+    QTable,
+    STATE_GRAPH,
+    STATE_RELATIONAL,
+)
+from repro.core.runner import average_workload_results, run_workload, run_workload_repeated
+from repro.core.tuner import BaseTuner, Dotil, TuningReport
+from repro.core.variants import RDBGDB, RDBOnly, RDBViews, StoreVariant
+
+__all__ = [
+    "DotilConfig",
+    "DEFAULT_CONFIG",
+    "PAPER_TUNED_CONFIG",
+    "ComplexSubquery",
+    "ComplexSubqueryIdentifier",
+    "identify_complex_subquery",
+    "TriplePartition",
+    "DualStoreDesign",
+    "QMatrix",
+    "QTable",
+    "STATE_RELATIONAL",
+    "STATE_GRAPH",
+    "ACTION_KEEP",
+    "ACTION_MOVE",
+    "DualStore",
+    "QueryProcessor",
+    "ProcessedQuery",
+    "ROUTE_GRAPH",
+    "ROUTE_RELATIONAL",
+    "ROUTE_SPLIT",
+    "BaseTuner",
+    "Dotil",
+    "TuningReport",
+    "OneOffTuner",
+    "LRUTuner",
+    "IdealTuner",
+    "StaticTuner",
+    "StoreVariant",
+    "RDBOnly",
+    "RDBViews",
+    "RDBGDB",
+    "QueryRecord",
+    "BatchResult",
+    "WorkloadResult",
+    "improvement_percent",
+    "run_workload",
+    "run_workload_repeated",
+    "average_workload_results",
+]

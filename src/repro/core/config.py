@@ -1,0 +1,69 @@
+"""Configuration of the dual-store structure and the DOTIL tuner.
+
+The paper's Table 4 lists the tuner's five parameters and their default
+values; Table 5 sweeps each one and Section 6.3.1 picks the final settings.
+Both sets are provided here as ready-made configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["DotilConfig", "DEFAULT_CONFIG", "PAPER_TUNED_CONFIG"]
+
+
+@dataclass(frozen=True)
+class DotilConfig:
+    """Parameters of the dual-store structure and its tuner.
+
+    Attributes
+    ----------
+    r_bg:
+        Ratio of the graph-store storage budget ``B_G`` to the size of the
+        entire knowledge graph (the paper's ``rB_G``).
+    prob:
+        Initial probability of transferring a partition whose Q-values are
+        still all zero (cold-start exploration).
+    alpha:
+        Q-learning learning rate.
+    gamma:
+        Q-learning discount factor.
+    lam:
+        The counterfactual cap: the relational run of a complex subquery is
+        stopped once its cost reaches ``lam`` times the graph-store cost.
+    seed:
+        Seed for the tuner's exploration randomness, so experiments are
+        reproducible.
+    """
+
+    r_bg: float = 0.25
+    prob: float = 0.5
+    alpha: float = 0.5
+    gamma: float = 0.5
+    lam: float = 3.5
+    seed: int = 20120613
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.r_bg <= 1.0:
+            raise ConfigError(f"r_bg must be in (0, 1], got {self.r_bg}")
+        if not 0.0 <= self.prob <= 1.0:
+            raise ConfigError(f"prob must be in [0, 1], got {self.prob}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not 0.0 <= self.gamma < 1.0:
+            raise ConfigError(f"gamma must be in [0, 1), got {self.gamma}")
+        if self.lam < 1.0:
+            raise ConfigError(f"lam must be at least 1, got {self.lam}")
+
+    def with_overrides(self, **overrides) -> "DotilConfig":
+        """Return a copy with some parameters replaced (validated again)."""
+        return replace(self, **overrides)
+
+
+#: The paper's Table 4 default values (used while sweeping each parameter).
+DEFAULT_CONFIG = DotilConfig()
+
+#: The values Section 6.3.1 settles on after the Table 5 sweep.
+PAPER_TUNED_CONFIG = DotilConfig(r_bg=0.25, prob=0.9, alpha=0.5, gamma=0.7, lam=4.5)

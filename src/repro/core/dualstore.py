@@ -1,0 +1,186 @@
+"""The dual-store structure: relational master copy + graph-store accelerator.
+
+:class:`DualStore` wires together everything in Figure 1 of the paper:
+
+* the relational store holding the entire knowledge graph,
+* the budget-constrained graph store holding transferred partitions,
+* the complex subquery identifier,
+* the query processor, and
+* the bookkeeping (:class:`~repro.core.partitions.DualStoreDesign`) that the
+  tuner manipulates.
+
+The tuner itself is a separate object (DOTIL or one of the baselines) that
+operates *on* a DualStore; this keeps the storage structure reusable across
+tuning policies, which is exactly what the tuner-comparison experiment needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.cost.resources import ResourceThrottle
+from repro.errors import StorageBudgetExceeded, TuningError
+from repro.execution import ExecutionResult
+from repro.rdf.graph import TripleSet
+from repro.rdf.terms import IRI, Triple
+from repro.relstore.executor import relational_work_units
+from repro.relstore.store import RelationalStore
+from repro.graphstore.store import GraphStore
+from repro.sparql.ast import SelectQuery
+
+from repro.core.config import DEFAULT_CONFIG, DotilConfig
+from repro.core.identifier import ComplexSubquery, ComplexSubqueryIdentifier
+from repro.core.metrics import QueryRecord
+from repro.core.partitions import DualStoreDesign
+from repro.core.processor import ProcessedQuery, QueryProcessor
+
+__all__ = ["DualStore"]
+
+
+class DualStore:
+    """The dual-store structure for knowledge graphs.
+
+    Parameters
+    ----------
+    config:
+        The structure/tuner configuration (the graph-store budget is derived
+        from ``config.r_bg`` at load time).
+    cost_model:
+        Latency model shared by both stores and the query processor.
+    throttle:
+        Optional resource throttle applied to the graph store (Section 6.3.3
+        experiments).
+    storage_budget:
+        Explicit budget in triples; overrides ``config.r_bg`` when given.
+    """
+
+    def __init__(
+        self,
+        config: DotilConfig = DEFAULT_CONFIG,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        throttle: Optional[ResourceThrottle] = None,
+        storage_budget: Optional[int] = None,
+    ):
+        self.config = config
+        self.cost_model = cost_model
+        self.relational = RelationalStore(cost_model=cost_model)
+        self.graph = GraphStore(storage_budget=storage_budget, cost_model=cost_model, throttle=throttle)
+        self.identifier = ComplexSubqueryIdentifier()
+        self.processor = QueryProcessor(self.relational, self.graph, cost_model=cost_model)
+        self.design: Optional[DualStoreDesign] = None
+        self._explicit_budget = storage_budget
+        self.transfer_log: List[Tuple[str, IRI]] = []
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def load(self, knowledge_graph: TripleSet | Iterable[Triple]) -> "DualStore":
+        """Load the entire knowledge graph into the relational store.
+
+        The graph store starts empty (the paper's cold start); its budget is
+        ``r_bg`` times the knowledge-graph size unless an explicit budget was
+        supplied.
+        """
+        triples = knowledge_graph if isinstance(knowledge_graph, TripleSet) else TripleSet(knowledge_graph)
+        self.relational.load(triples)
+        sizes = self.relational.partition_sizes()
+        budget = self._explicit_budget
+        if budget is None:
+            budget = int(self.config.r_bg * len(triples))
+        self.graph.storage_budget = budget
+        self.design = DualStoreDesign.from_sizes(sizes, storage_budget=budget)
+        return self
+
+    def insert(self, triples: Iterable[Triple]) -> float:
+        """Insert new knowledge (goes to the relational master copy only)."""
+        seconds = self.relational.insert(triples)
+        if self.design is not None:
+            self.design.partition_sizes = self.relational.partition_sizes()
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    # Online query processing
+    # ------------------------------------------------------------------ #
+    def run_query(self, query: SelectQuery) -> ProcessedQuery:
+        """Process one query online and return its routed execution."""
+        self._require_loaded()
+        complex_subquery = self.identifier.identify(query)
+        return self.processor.process(query, complex_subquery)
+
+    def identify(self, query: SelectQuery) -> Optional[ComplexSubquery]:
+        return self.identifier.identify(query)
+
+    # ------------------------------------------------------------------ #
+    # Physical design changes (called by tuners)
+    # ------------------------------------------------------------------ #
+    def transfer_partition(self, predicate: IRI) -> float:
+        """Replicate one partition into the graph store; returns import seconds."""
+        self._require_loaded()
+        assert self.design is not None
+        triples = self.relational.partition(predicate)
+        seconds = self.graph.load_partition(predicate, triples)
+        self.design.mark_transferred(predicate)
+        self.transfer_log.append(("transfer", predicate))
+        return seconds
+
+    def evict_partition(self, predicate: IRI) -> int:
+        """Remove one partition from the graph store; returns triples evicted."""
+        self._require_loaded()
+        assert self.design is not None
+        removed = self.graph.evict_partition(predicate)
+        self.design.mark_evicted(predicate)
+        self.transfer_log.append(("evict", predicate))
+        return removed
+
+    def transfer_partitions(self, predicates: Iterable[IRI]) -> float:
+        """Transfer several partitions; returns the total import seconds."""
+        return sum(self.transfer_partition(p) for p in predicates)
+
+    # ------------------------------------------------------------------ #
+    # Costs used by the tuner's reward computation
+    # ------------------------------------------------------------------ #
+    def graph_cost(self, subquery: SelectQuery) -> Tuple[float, ExecutionResult]:
+        """Cost ``c1`` of running a complex subquery in the graph store."""
+        result = self.graph.execute(subquery)
+        return result.seconds, result
+
+    def counterfactual_relational_cost(self, subquery: SelectQuery, cap_seconds: float) -> float:
+        """Cost ``c2``: the relational run capped at ``cap_seconds``.
+
+        Mirrors the paper's parallel thread stopped at ``λ·c₁``: execution is
+        given a work budget equivalent to the cap; if it finishes within the
+        budget the true cost is returned, otherwise the cap itself.
+        """
+        per_row = max(self.cost_model.relational_row_scan, 1e-12)
+        work_budget = max(1.0, (cap_seconds - self.cost_model.relational_query_overhead) / per_row)
+        result, seconds = self.relational.execute_capped(subquery, work_budget=work_budget)
+        if result is None:
+            return cap_seconds
+        return min(seconds, cap_seconds)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def partition_sizes(self) -> Dict[IRI, int]:
+        return self.relational.partition_sizes()
+
+    def graph_coverage(self) -> float:
+        """Fraction of the knowledge graph currently replicated in the graph store."""
+        total = len(self.relational)
+        if total == 0:
+            return 0.0
+        return self.graph.used_capacity() / total
+
+    def _require_loaded(self) -> None:
+        if self.design is None:
+            raise TuningError("the dual store has no data; call load() first")
+
+    # Convenience aliases used throughout the experiments -------------- #
+    @property
+    def storage_budget(self) -> int:
+        return self.graph.storage_budget or 0
+
+    def relational_work_for(self, query: SelectQuery) -> float:
+        """Relational work units ``query`` costs, measured by executing it."""
+        return relational_work_units(self.relational.execute(query).counters)

@@ -1,0 +1,146 @@
+"""Complex subquery identifier (Section 3.1 of the paper).
+
+A *complex subquery* is the set of triple patterns whose subject variable and
+object variable both occur more than once in the query.  In the paper's
+Example 1, patterns ``q3..q7`` form the complex subquery because each of
+``?p``, ``?city``, ``?a``, and ``?p2`` occurs more than once, while ``q1`` and
+``q2`` are excluded because ``?GivenName`` / ``?FamilyName`` occur only once.
+
+The identifier runs in one pass over the patterns (the paper's O(n) bound,
+with n proportional to the number of subqueries) and produces a
+:class:`ComplexSubquery` carrying
+
+* the member patterns,
+* the *output variables* — the variables shared with the remaining part of
+  the query (these join the two halves of a split plan), and
+* a ready-to-execute :class:`~repro.sparql.ast.SelectQuery` projecting those
+  output variables (``SELECT ?p WHERE {...}`` in Example 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.rdf.terms import IRI, Variable
+from repro.sparql.ast import SelectQuery, TriplePattern
+
+__all__ = ["ComplexSubquery", "ComplexSubqueryIdentifier", "identify_complex_subquery"]
+
+
+@dataclass(frozen=True)
+class ComplexSubquery:
+    """The complex part of a query, ready for graph-store execution."""
+
+    patterns: Tuple[TriplePattern, ...]
+    remainder: Tuple[TriplePattern, ...]
+    output_variables: Tuple[str, ...]
+    query: SelectQuery
+
+    @property
+    def predicates(self) -> FrozenSet[IRI]:
+        """Concrete predicates of the complex subquery (``Pc`` in Algorithm 1)."""
+        return frozenset(p.predicate for p in self.patterns if isinstance(p.predicate, IRI))
+
+    @property
+    def is_whole_query(self) -> bool:
+        """True when every pattern of the original query is complex."""
+        return not self.remainder
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+class ComplexSubqueryIdentifier:
+    """Extracts the complex subquery, if any, from each incoming query.
+
+    Parameters
+    ----------
+    minimum_patterns:
+        A complex subquery must contain at least this many patterns.  The
+        paper defines complex query patterns as containing *more than one
+        predicate*, so the default is 2.
+    """
+
+    def __init__(self, minimum_patterns: int = 2):
+        self.minimum_patterns = minimum_patterns
+
+    def identify(self, query: SelectQuery) -> Optional[ComplexSubquery]:
+        """Return the complex subquery of ``query`` or ``None``.
+
+        A pattern belongs to the complex subquery when every *variable* it
+        mentions occurs in more than one pattern of the query.  Constant
+        subjects/objects do not disqualify a pattern.  Patterns without any
+        variable never qualify (they are simple existence checks).
+        """
+        occurrences = query.variable_occurrences()
+
+        complex_patterns = []
+        remainder = []
+        for pattern in query.patterns:
+            names = pattern.variable_names()
+            if names and all(occurrences.get(name, 0) > 1 for name in names):
+                complex_patterns.append(pattern)
+            else:
+                remainder.append(pattern)
+
+        if len(complex_patterns) < self.minimum_patterns:
+            return None
+
+        output_variables = self._output_variables(query, complex_patterns, remainder)
+        subquery = SelectQuery(
+            projection=tuple(Variable(name) for name in output_variables),
+            patterns=tuple(complex_patterns),
+            filters=tuple(
+                f
+                for f in query.filters
+                if {v.name for v in f.variables()} <= _variable_names(complex_patterns)
+            ),
+            distinct=query.distinct,
+        )
+        return ComplexSubquery(
+            patterns=tuple(complex_patterns),
+            remainder=tuple(remainder),
+            output_variables=output_variables,
+            query=subquery,
+        )
+
+    def __call__(self, query: SelectQuery) -> Optional[ComplexSubquery]:
+        return self.identify(query)
+
+    @staticmethod
+    def _output_variables(
+        query: SelectQuery,
+        complex_patterns: list[TriplePattern],
+        remainder: list[TriplePattern],
+    ) -> Tuple[str, ...]:
+        """Variables the complex subquery must output.
+
+        These are the variables shared with the remaining patterns (the join
+        attributes of the split plan) plus any projected variable that only
+        the complex part binds — without those the final answer could not be
+        assembled.
+        """
+        complex_names = _variable_names(complex_patterns)
+        remainder_names = _variable_names(remainder)
+        shared = complex_names & remainder_names
+        projected = set(query.projected_names())
+        needed_projection = (projected & complex_names) - remainder_names
+        output = shared | needed_projection
+        if not output:
+            # Fully complex query with a SELECT * style projection: keep the
+            # projected names that exist, falling back to every variable.
+            output = projected & complex_names or complex_names
+        return tuple(sorted(output))
+
+
+def _variable_names(patterns: list[TriplePattern]) -> set[str]:
+    names: set[str] = set()
+    for pattern in patterns:
+        names.update(pattern.variable_names())
+    return names
+
+
+def identify_complex_subquery(query: SelectQuery) -> Optional[ComplexSubquery]:
+    """Module-level convenience wrapper around the default identifier."""
+    return ComplexSubqueryIdentifier().identify(query)

@@ -1,0 +1,133 @@
+"""Triple partitions and the dual-store physical design (Section 4.1).
+
+A *triple partition* is the set of all triples sharing one predicate; it is
+the unit of data the tuner moves between stores.  The *dual-store design*
+``D = <T_R, T_G>`` records which partitions live where: ``T_R`` always holds
+every partition (the relational store keeps the master copy), ``T_G`` is the
+subset currently replicated into the graph store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping
+
+from repro.errors import UnknownPartitionError
+from repro.rdf.terms import IRI
+
+__all__ = ["TriplePartition", "DualStoreDesign"]
+
+
+@dataclass(frozen=True)
+class TriplePartition:
+    """Metadata about one predicate's partition."""
+
+    predicate: IRI
+    size: int
+
+    @property
+    def name(self) -> str:
+        return self.predicate.local_name()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}({self.size})"
+
+
+@dataclass
+class DualStoreDesign:
+    """The current physical design ``D = <T_R, T_G>``.
+
+    Attributes
+    ----------
+    partition_sizes:
+        Size (triple count) of every partition in the knowledge graph; this
+        doubles as the definition of ``T_R``.
+    in_graph_store:
+        The predicates whose partitions are currently replicated in the graph
+        store (``T_G``).
+    storage_budget:
+        The graph store's capacity ``B_G`` in triples.
+    """
+
+    partition_sizes: Dict[IRI, int]
+    in_graph_store: set[IRI] = field(default_factory=set)
+    storage_budget: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = self.in_graph_store - set(self.partition_sizes)
+        if unknown:
+            names = ", ".join(sorted(p.value for p in unknown))
+            raise UnknownPartitionError(f"partitions not in the knowledge graph: {names}")
+
+    # ------------------------------------------------------------------ #
+    # T_R / T_G views
+    # ------------------------------------------------------------------ #
+    @property
+    def relational_partitions(self) -> FrozenSet[IRI]:
+        """``T_R`` — every partition (the relational store keeps them all)."""
+        return frozenset(self.partition_sizes)
+
+    @property
+    def graph_partitions(self) -> FrozenSet[IRI]:
+        """``T_G`` — partitions replicated into the graph store."""
+        return frozenset(self.in_graph_store)
+
+    def partitions(self) -> Iterator[TriplePartition]:
+        for predicate, size in sorted(self.partition_sizes.items(), key=lambda kv: kv[0].value):
+            yield TriplePartition(predicate, size)
+
+    def size_of(self, predicate: IRI) -> int:
+        try:
+            return self.partition_sizes[predicate]
+        except KeyError:
+            raise UnknownPartitionError(f"unknown partition {predicate.value!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Budget accounting
+    # ------------------------------------------------------------------ #
+    def used_budget(self) -> int:
+        return sum(self.partition_sizes[p] for p in self.in_graph_store)
+
+    def remaining_budget(self) -> int:
+        return self.storage_budget - self.used_budget()
+
+    def fits(self, predicates: Iterable[IRI]) -> bool:
+        """Would adding these partitions stay within ``B_G``?"""
+        additional = sum(self.size_of(p) for p in set(predicates) - self.in_graph_store)
+        return additional <= self.remaining_budget()
+
+    # ------------------------------------------------------------------ #
+    # Design transitions (pure bookkeeping; actual data movement is the
+    # DualStore's job)
+    # ------------------------------------------------------------------ #
+    def mark_transferred(self, predicate: IRI) -> None:
+        self.size_of(predicate)  # validates existence
+        self.in_graph_store.add(predicate)
+
+    def mark_evicted(self, predicate: IRI) -> None:
+        if predicate not in self.in_graph_store:
+            raise UnknownPartitionError(f"partition {predicate.value!r} is not in the graph store")
+        self.in_graph_store.remove(predicate)
+
+    def covers(self, predicates: Iterable[IRI]) -> bool:
+        return set(predicates) <= self.in_graph_store
+
+    def copy(self) -> "DualStoreDesign":
+        return DualStoreDesign(
+            partition_sizes=dict(self.partition_sizes),
+            in_graph_store=set(self.in_graph_store),
+            storage_budget=self.storage_budget,
+        )
+
+    @classmethod
+    def from_sizes(
+        cls,
+        sizes: Mapping[IRI, int],
+        storage_budget: int,
+        in_graph_store: Iterable[IRI] = (),
+    ) -> "DualStoreDesign":
+        return cls(
+            partition_sizes=dict(sizes),
+            in_graph_store=set(in_graph_store),
+            storage_budget=storage_budget,
+        )

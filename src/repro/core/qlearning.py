@@ -1,0 +1,145 @@
+"""Q-learning machinery for the dual-store tuner (Section 4.2).
+
+The decomposition strategy gives every triple partition its own tiny MDP:
+
+* state space ``{0, 1}`` — 0: the partition lives only in the relational
+  store, 1: it is replicated in the graph store;
+* action space ``{0, 1}`` — 0: keep the current placement, 1: transfer (when
+  in state 0) or evict (when in state 1);
+* a 2×2 Q-matrix per partition, updated with the standard Q-learning rule
+  (Equation 4 of the paper).  ``Q(0,0)`` and ``Q(1,1)`` are pinned to zero as
+  the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import TuningError
+from repro.rdf.terms import IRI
+
+__all__ = ["QMatrix", "QTable", "STATE_RELATIONAL", "STATE_GRAPH", "ACTION_KEEP", "ACTION_MOVE"]
+
+STATE_RELATIONAL = 0
+STATE_GRAPH = 1
+ACTION_KEEP = 0
+ACTION_MOVE = 1
+
+
+@dataclass
+class QMatrix:
+    """The 2×2 Q-matrix of one triple partition.
+
+    The four entries follow the paper's layout:
+
+    * ``Q(0,0)`` — keep the partition in the relational store (pinned to 0).
+    * ``Q(0,1)`` — transfer it to the graph store.
+    * ``Q(1,0)`` — keep it in the graph store (accumulates since migration).
+    * ``Q(1,1)`` — evict it from the graph store (pinned to 0).
+    """
+
+    values: List[List[float]] = field(default_factory=lambda: [[0.0, 0.0], [0.0, 0.0]])
+    updates: int = 0
+
+    def get(self, state: int, action: int) -> float:
+        self._validate(state, action)
+        return self.values[state][action]
+
+    def set(self, state: int, action: int, value: float) -> None:
+        self._validate(state, action)
+        self.values[state][action] = float(value)
+
+    def update(self, state: int, action: int, reward: float, alpha: float, gamma: float) -> float:
+        """Apply Equation 4 and return the new Q-value.
+
+        The next state follows deterministically from (state, action): moving
+        flips the placement, keeping preserves it.  The pinned entries
+        ``Q(0,0)`` and ``Q(1,1)`` are never updated (their reward is defined
+        as zero in the paper), but calling update on them is not an error —
+        it simply leaves them at zero so Algorithm 1 stays straightforward.
+        """
+        self._validate(state, action)
+        if (state, action) in ((STATE_RELATIONAL, ACTION_KEEP), (STATE_GRAPH, ACTION_MOVE)):
+            self.updates += 1
+            return self.values[state][action]
+        next_state = state if action == ACTION_KEEP else 1 - state
+        best_future = max(self.values[next_state])
+        old_value = self.values[state][action]
+        new_value = (1.0 - alpha) * old_value + alpha * (reward + gamma * best_future)
+        self.values[state][action] = new_value
+        self.updates += 1
+        return new_value
+
+    def transfer_margin(self) -> float:
+        """How much better transferring looks than keeping in relational."""
+        return self.get(STATE_RELATIONAL, ACTION_MOVE) - self.get(STATE_RELATIONAL, ACTION_KEEP)
+
+    def eviction_key(self) -> float:
+        """The paper's eviction sort key ``Q(1,1) - Q(1,0)``.
+
+        Partitions are evicted in *descending* order of this key, i.e. the
+        ones with the smallest accumulated keep-reward go first.
+        """
+        return self.get(STATE_GRAPH, ACTION_MOVE) - self.get(STATE_GRAPH, ACTION_KEEP)
+
+    def is_cold(self) -> bool:
+        """True when no informative entry has been learned yet."""
+        return (
+            self.get(STATE_RELATIONAL, ACTION_MOVE) == 0.0
+            and self.get(STATE_GRAPH, ACTION_KEEP) == 0.0
+        )
+
+    def flatten(self) -> Tuple[float, float, float, float]:
+        """``(Q00, Q01, Q10, Q11)`` — the order used in the paper's Table 5."""
+        return (
+            self.values[0][0],
+            self.values[0][1],
+            self.values[1][0],
+            self.values[1][1],
+        )
+
+    def total(self) -> float:
+        """Sum of all entries; the paper's offline-training-effect metric."""
+        return sum(self.flatten())
+
+    @staticmethod
+    def _validate(state: int, action: int) -> None:
+        if state not in (0, 1) or action not in (0, 1):
+            raise TuningError(f"state and action must be 0 or 1, got ({state}, {action})")
+
+
+class QTable:
+    """The collection of per-partition Q-matrices."""
+
+    def __init__(self) -> None:
+        self._matrices: Dict[IRI, QMatrix] = {}
+
+    def matrix(self, predicate: IRI) -> QMatrix:
+        """The Q-matrix for a partition, created zero-initialised on demand."""
+        if predicate not in self._matrices:
+            self._matrices[predicate] = QMatrix()
+        return self._matrices[predicate]
+
+    def __contains__(self, predicate: IRI) -> bool:
+        return predicate in self._matrices
+
+    def __len__(self) -> int:
+        return len(self._matrices)
+
+    def items(self) -> Iterator[Tuple[IRI, QMatrix]]:
+        return iter(self._matrices.items())
+
+    def summed(self) -> Tuple[float, float, float, float]:
+        """Element-wise sum across all partitions (Table 5's Q-matrix column)."""
+        totals = [0.0, 0.0, 0.0, 0.0]
+        for matrix in self._matrices.values():
+            for index, value in enumerate(matrix.flatten()):
+                totals[index] += value
+        return tuple(totals)  # type: ignore[return-value]
+
+    def total(self) -> float:
+        return sum(self.summed())
+
+    def reset(self) -> None:
+        self._matrices.clear()

@@ -1,0 +1,131 @@
+"""Workload runner: drives a store variant through batched workloads.
+
+The paper runs every workload in batches of one fifth of the query set, runs
+each test six times to warm caches/views/graph content, and reports the
+average TTI of the last five runs.  :func:`run_workload` executes a single
+pass; :func:`run_workload_repeated` reproduces the warm-up protocol by
+repeating the pass and averaging the retained repetitions (state accumulated
+by the variant — views, transferred partitions, Q-matrices — persists across
+repetitions, which is what makes the later runs "warm").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import WorkloadError
+from repro.sparql.ast import SelectQuery
+
+from repro.core.metrics import BatchResult, WorkloadResult
+from repro.core.variants import RDBGDB, StoreVariant
+
+__all__ = ["run_workload", "run_workload_repeated", "average_workload_results"]
+
+
+def run_workload(
+    variant: StoreVariant,
+    batches: Sequence[Sequence[SelectQuery]],
+    label: str | None = None,
+    prepare: bool = True,
+) -> WorkloadResult:
+    """Run every batch online, invoking the offline phase after each one.
+
+    ``prepare`` feeds the entire workload to the variant first, which only
+    matters for policies that are defined to see the whole future (one-off
+    mode); the other variants ignore it.
+    """
+    if not batches:
+        raise WorkloadError("a workload needs at least one batch")
+    all_queries: List[SelectQuery] = [q for batch in batches for q in batch]
+    if prepare:
+        variant.prepare(all_queries)
+
+    result = WorkloadResult(label=label or variant.name)
+    for index, batch in enumerate(batches):
+        batch_result = variant.run_batch(batch, batch_index=index)
+        result.batches.append(batch_result)
+        upcoming = batches[index + 1] if index + 1 < len(batches) else None
+        variant.offline_phase(batch, upcoming=upcoming)
+    if isinstance(variant, RDBGDB):
+        result.qmatrix_sum = variant.qmatrix_sum()
+    return result
+
+
+def run_workload_repeated(
+    variant: StoreVariant,
+    batches: Sequence[Sequence[SelectQuery]],
+    repetitions: int = 6,
+    discard: int = 1,
+    label: str | None = None,
+) -> WorkloadResult:
+    """Repeat the workload and average the retained repetitions.
+
+    Parameters
+    ----------
+    repetitions:
+        Total passes over the workload (the paper uses 6).
+    discard:
+        Leading passes to discard as warm-up (the paper discards 1).
+    """
+    if repetitions < 1:
+        raise WorkloadError("repetitions must be at least 1")
+    if not 0 <= discard < repetitions:
+        raise WorkloadError("discard must be smaller than repetitions")
+    passes: List[WorkloadResult] = []
+    for repetition in range(repetitions):
+        passes.append(run_workload(variant, batches, label=label, prepare=(repetition == 0)))
+    kept = passes[discard:]
+    averaged = average_workload_results(kept, label=label or variant.name)
+    averaged.qmatrix_sum = passes[-1].qmatrix_sum
+    return averaged
+
+
+def average_workload_results(results: Sequence[WorkloadResult], label: str) -> WorkloadResult:
+    """Average batch TTIs element-wise across several workload passes.
+
+    The averaged result keeps the batch structure but carries synthetic
+    :class:`BatchResult` objects whose only populated record is dropped; TTI
+    is restored via an explicit ``_tti`` override.
+    """
+    if not results:
+        raise WorkloadError("cannot average zero workload results")
+    batch_count = len(results[0].batches)
+    if any(len(r.batches) != batch_count for r in results):
+        raise WorkloadError("all workload results must have the same number of batches")
+
+    averaged = WorkloadResult(label=label)
+    for index in range(batch_count):
+        batch = _AveragedBatch(index=index)
+        batch.set_tti(sum(r.batches[index].tti for r in results) / len(results))
+        batch.set_graph_seconds(sum(r.batches[index].graph_seconds for r in results) / len(results))
+        averaged.batches.append(batch)
+    return averaged
+
+
+class _AveragedBatch(BatchResult):
+    """A batch whose TTI is a precomputed average rather than a record sum."""
+
+    def __init__(self, index: int):
+        super().__init__(index=index)
+        self._tti_override = 0.0
+        self._graph_override = 0.0
+
+    def set_tti(self, value: float) -> None:
+        self._tti_override = value
+
+    def set_graph_seconds(self, value: float) -> None:
+        self._graph_override = value
+
+    @property
+    def tti(self) -> float:  # type: ignore[override]
+        return self._tti_override
+
+    @property
+    def graph_seconds(self) -> float:  # type: ignore[override]
+        return self._graph_override
+
+    @property
+    def graph_cost_share(self) -> float:  # type: ignore[override]
+        if self._tti_override <= 0.0:
+            return 0.0
+        return self._graph_override / self._tti_override

@@ -1,0 +1,254 @@
+"""The three store variants compared in Section 6.2.
+
+* **RDB-only** — the entire knowledge graph lives in a relational store and
+  every query runs there.  This is the paper's "most commonly used" baseline.
+* **RDB-views** — RDB-only plus materialized views: during each offline phase
+  the most frequent complex subqueries of the historical workload are
+  materialized, subject to the same storage budget the graph store would get.
+* **RDB-GDB** — the dual-store structure: relational master copy, graph-store
+  accelerator, and a tuner (DOTIL by default) that adjusts the physical
+  design after every batch.
+
+All three expose the same interface (``load`` / ``run_batch`` /
+``offline_phase``) so the workload runner and the experiments can treat them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.cost.resources import ResourceThrottle
+from repro.execution import ResultTable
+from repro.rdf.graph import TripleSet
+from repro.sparql.ast import SelectQuery, TriplePattern
+from repro.relstore.store import RelationalStore
+from repro.relstore.views import canonical_pattern_key
+
+from repro.core.config import DEFAULT_CONFIG, DotilConfig
+from repro.core.dualstore import DualStore
+from repro.core.identifier import ComplexSubquery, ComplexSubqueryIdentifier
+from repro.core.metrics import BatchResult, QueryRecord
+from repro.core.tuner import BaseTuner, Dotil, TuningReport
+
+__all__ = ["StoreVariant", "RDBOnly", "RDBViews", "RDBGDB", "TunerFactory"]
+
+TunerFactory = Callable[[DualStore], BaseTuner]
+
+
+class StoreVariant:
+    """Common interface of the three storage designs under comparison."""
+
+    name = "variant"
+
+    def load(self, knowledge_graph: TripleSet) -> "StoreVariant":
+        raise NotImplementedError
+
+    def run_batch(self, queries: Sequence[SelectQuery], batch_index: int = 0) -> BatchResult:
+        """Process one batch online and return its TTI breakdown."""
+        raise NotImplementedError
+
+    def offline_phase(
+        self,
+        queries: Sequence[SelectQuery],
+        upcoming: Sequence[SelectQuery] | None = None,
+    ) -> Optional[TuningReport]:
+        """Run the periodic offline reconfiguration after a batch (if any)."""
+        return None
+
+    def prepare(self, all_queries: Sequence[SelectQuery]) -> None:
+        """Hook used by policies that need the whole workload up front."""
+        return None
+
+
+class RDBOnly(StoreVariant):
+    """Everything in the relational store; no offline reconfiguration."""
+
+    name = "RDB-only"
+
+    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.store = RelationalStore(cost_model=cost_model)
+        self.identifier = ComplexSubqueryIdentifier()
+
+    def load(self, knowledge_graph: TripleSet) -> "RDBOnly":
+        self.store.load(knowledge_graph)
+        return self
+
+    def run_batch(self, queries: Sequence[SelectQuery], batch_index: int = 0) -> BatchResult:
+        batch = BatchResult(index=batch_index)
+        for query in queries:
+            complex_subquery = self.identifier.identify(query)
+            result = self.store.execute(query)
+            batch.records.append(
+                QueryRecord(
+                    query=query,
+                    seconds=result.seconds,
+                    route="relational",
+                    result_count=len(result),
+                    counters=result.counters,
+                    relational_seconds=result.seconds,
+                    had_complex_subquery=complex_subquery is not None,
+                )
+            )
+        return batch
+
+
+class RDBViews(StoreVariant):
+    """Relational store accelerated by frequency-selected materialized views."""
+
+    name = "RDB-views"
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        view_budget_fraction: float = DEFAULT_CONFIG.r_bg,
+    ):
+        self.cost_model = cost_model
+        self.view_budget_fraction = view_budget_fraction
+        self.store: Optional[RelationalStore] = None
+        self.identifier = ComplexSubqueryIdentifier()
+
+    def load(self, knowledge_graph: TripleSet) -> "RDBViews":
+        budget_rows = int(self.view_budget_fraction * len(knowledge_graph))
+        self.store = RelationalStore(cost_model=self.cost_model, view_row_budget=budget_rows)
+        self.store.load(knowledge_graph)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Online
+    # ------------------------------------------------------------------ #
+    def run_batch(self, queries: Sequence[SelectQuery], batch_index: int = 0) -> BatchResult:
+        assert self.store is not None and self.store.view_manager is not None
+        batch = BatchResult(index=batch_index)
+        for query in queries:
+            complex_subquery = self.identifier.identify(query)
+            view = None
+            if complex_subquery is not None:
+                view = self.store.view_manager.match(complex_subquery.patterns)
+                if view is not None and not self._view_compatible(view.table, complex_subquery.patterns):
+                    view = None
+            if view is not None:
+                result = self.store.execute_with_view(query, view)
+                route = "view"
+            else:
+                result = self.store.execute(query)
+                route = "relational"
+            batch.records.append(
+                QueryRecord(
+                    query=query,
+                    seconds=result.seconds,
+                    route=route,
+                    result_count=len(result),
+                    counters=result.counters,
+                    relational_seconds=result.seconds,
+                    had_complex_subquery=complex_subquery is not None,
+                )
+            )
+        return batch
+
+    @staticmethod
+    def _view_compatible(table: ResultTable, patterns: Tuple[TriplePattern, ...]) -> bool:
+        """The stored view must bind variables by the names this query uses."""
+        names: set[str] = set()
+        for pattern in patterns:
+            names.update(pattern.variable_names())
+        return set(table.variables) <= names
+
+    # ------------------------------------------------------------------ #
+    # Offline: observe frequencies and rebuild the view set
+    # ------------------------------------------------------------------ #
+    def offline_phase(
+        self,
+        queries: Sequence[SelectQuery],
+        upcoming: Sequence[SelectQuery] | None = None,
+    ) -> Optional[TuningReport]:
+        assert self.store is not None and self.store.view_manager is not None
+        manager = self.store.view_manager
+
+        observed: Dict[Tuple, Tuple[Tuple[TriplePattern, ...], SelectQuery]] = {}
+        for query in queries:
+            complex_subquery = self.identifier.identify(query)
+            if complex_subquery is None:
+                continue
+            manager.observe(complex_subquery.patterns)
+            key = canonical_pattern_key(complex_subquery.patterns)
+            observed.setdefault(key, (complex_subquery.patterns, complex_subquery.query))
+
+        # Materialize candidates for every frequent key we have a definition for
+        # (offline work: not charged to TTI, like the paper's offline phase).
+        candidates: Dict[Tuple, Tuple[Tuple[TriplePattern, ...], ResultTable]] = {}
+        for key in manager.frequent_keys():
+            if key not in observed:
+                continue
+            patterns, subquery = observed[key]
+            result = self.store.execute(subquery)
+            candidates[key] = (patterns, ResultTable.from_result(f"view_{len(candidates)}", result))
+        manager.select_views(candidates)
+        return None
+
+
+class RDBGDB(StoreVariant):
+    """The dual-store structure with a pluggable tuning policy."""
+
+    name = "RDB-GDB"
+
+    def __init__(
+        self,
+        config: DotilConfig = DEFAULT_CONFIG,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        tuner_factory: TunerFactory | None = None,
+        throttle: Optional[ResourceThrottle] = None,
+    ):
+        self.config = config
+        self.dual = DualStore(config=config, cost_model=cost_model, throttle=throttle)
+        factory = tuner_factory if tuner_factory is not None else (lambda dual: Dotil(dual, config))
+        self.tuner: BaseTuner = factory(self.dual)
+        self.identifier = self.dual.identifier
+        self.last_report: Optional[TuningReport] = None
+
+    def load(self, knowledge_graph: TripleSet) -> "RDBGDB":
+        self.dual.load(knowledge_graph)
+        return self
+
+    def run_batch(self, queries: Sequence[SelectQuery], batch_index: int = 0) -> BatchResult:
+        batch = BatchResult(index=batch_index)
+        for query in queries:
+            processed = self.dual.run_query(query)
+            batch.records.append(processed.record)
+        return batch
+
+    def offline_phase(
+        self,
+        queries: Sequence[SelectQuery],
+        upcoming: Sequence[SelectQuery] | None = None,
+    ) -> Optional[TuningReport]:
+        recent = self._complex_subqueries(queries)
+        future = self._complex_subqueries(upcoming) if upcoming else None
+        self.last_report = self.tuner.tune(recent, upcoming=future)
+        return self.last_report
+
+    def prepare(self, all_queries: Sequence[SelectQuery]) -> None:
+        self.tuner.prepare(self._complex_subqueries(all_queries))
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _complex_subqueries(self, queries: Sequence[SelectQuery] | None) -> List[ComplexSubquery]:
+        if not queries:
+            return []
+        found = []
+        for query in queries:
+            complex_subquery = self.identifier.identify(query)
+            if complex_subquery is not None:
+                found.append(complex_subquery)
+        return found
+
+    # Introspection used in experiments and examples ------------------- #
+    def qmatrix_sum(self) -> Tuple[float, float, float, float]:
+        if isinstance(self.tuner, Dotil):
+            return self.tuner.qtable.summed()
+        return (0.0, 0.0, 0.0, 0.0)
+
+    def graph_coverage(self) -> float:
+        return self.dual.graph_coverage()

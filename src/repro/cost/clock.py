@@ -1,0 +1,87 @@
+"""Clocks used to attribute latency to queries and batches.
+
+Two interchangeable clocks exist:
+
+* :class:`SimulatedClock` — advances only when the library charges time to
+  it (from the cost model).  Experiments run with this clock are fully
+  deterministic and independent of the host machine.
+* :class:`WallClock` — measures real elapsed time with
+  :func:`time.perf_counter`; useful when benchmarking the actual Python
+  engines with ``pytest-benchmark``.
+
+Both expose the same tiny interface: ``now()``, ``charge(seconds)``, and a
+``stopwatch()`` context manager returning elapsed seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+__all__ = ["Clock", "SimulatedClock", "WallClock", "Stopwatch"]
+
+
+class Stopwatch:
+    """Result holder for :meth:`Clock.stopwatch`."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+
+
+class Clock:
+    """Abstract clock interface."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def charge(self, seconds: float) -> None:
+        """Attribute ``seconds`` of latency to the clock."""
+        raise NotImplementedError
+
+    @contextmanager
+    def stopwatch(self) -> Iterator[Stopwatch]:
+        """Measure the time that passes (or is charged) inside the block."""
+        watch = Stopwatch()
+        start = self.now()
+        try:
+            yield watch
+        finally:
+            watch.elapsed = self.now() - start
+
+
+class SimulatedClock(Clock):
+    """A deterministic clock that only advances when time is charged."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigError("simulated clock cannot start before time 0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError("cannot charge negative time")
+        self._now += seconds
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+
+class WallClock(Clock):
+    """A clock backed by the host's monotonic performance counter.
+
+    ``charge`` is a no-op because real time passes on its own; the method
+    exists so callers can treat both clock types uniformly.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def charge(self, seconds: float) -> None:
+        # Real time already elapsed while the work was performed.
+        return None

@@ -1,0 +1,85 @@
+"""Work-unit counters recorded by both stores during query execution.
+
+The paper measures wall-clock latency of MySQL and Neo4j on a dedicated
+server.  This reproduction instead has every engine count the *work* it does
+(rows scanned, tuples joined, edges traversed, triples migrated, ...) and a
+calibrated :mod:`repro.cost.model` converts those counts into seconds.  The
+counts themselves are deterministic, so every experiment is repeatable while
+still exhibiting the cost asymmetry the paper exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["WorkCounters"]
+
+
+@dataclass
+class WorkCounters:
+    """Accumulated work units for one query (or one bulk operation).
+
+    Relational-side counters
+    ------------------------
+    rows_scanned:
+        Base-table rows read (sequential scan or index range scan).
+    rows_joined:
+        Intermediate tuples produced by join operators.
+    index_lookups:
+        Point lookups served by an index.
+    view_rows_scanned:
+        Rows read from materialized views (RDB-views variant).
+
+    Graph-side counters
+    -------------------
+    nodes_expanded:
+        Vertices whose adjacency list was opened during traversal.
+    edges_traversed:
+        Edges followed during traversal.
+
+    Shared counters
+    ---------------
+    results_produced:
+        Final solutions emitted.
+    triples_migrated:
+        Intermediate result rows shipped between stores by the query
+        processor (Case 2 plans).
+    triples_loaded:
+        Triples bulk-imported into a store (partition transfer or initial
+        load).
+    """
+
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    index_lookups: int = 0
+    view_rows_scanned: int = 0
+    nodes_expanded: int = 0
+    edges_traversed: int = 0
+    results_produced: int = 0
+    triples_migrated: int = 0
+    triples_loaded: int = 0
+    queries_issued: int = field(default=0)
+
+    def merge(self, other: "WorkCounters") -> "WorkCounters":
+        """Return a new counter object with both contributions summed."""
+        merged = WorkCounters()
+        for f in fields(WorkCounters):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def add(self, other: "WorkCounters") -> None:
+        """Accumulate ``other`` into this counter object in place."""
+        for f in fields(WorkCounters):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def total_units(self) -> int:
+        """Sum of every counter; a crude magnitude used in sanity checks."""
+        return sum(int(getattr(self, f.name)) for f in fields(WorkCounters))
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: int(getattr(self, f.name)) for f in fields(WorkCounters)}
+
+    def copy(self) -> "WorkCounters":
+        clone = WorkCounters()
+        clone.add(self)
+        return clone

@@ -1,0 +1,79 @@
+"""Exception hierarchy shared by every subsystem in :mod:`repro`.
+
+Each subsystem raises a subclass of :class:`ReproError` so callers can catch
+library failures with a single ``except`` clause while still being able to
+distinguish parse errors, storage errors, and tuning errors when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TermError(ReproError):
+    """An RDF term was constructed from an invalid value."""
+
+
+class ParseError(ReproError):
+    """A SPARQL query or an N-Triples document could not be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the failure.
+    line, column:
+        Best-effort location of the offending token (1-based).  ``None`` when
+        the location is unknown.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+
+
+class StorageError(ReproError):
+    """A store (relational or graph) rejected an operation."""
+
+
+class StorageBudgetExceeded(StorageError):
+    """Loading a partition would exceed the graph store's storage budget."""
+
+
+class UnknownPartitionError(StorageError):
+    """A triple partition (predicate) was referenced but does not exist."""
+
+
+class QueryExecutionError(ReproError):
+    """A query failed during execution in either store."""
+
+
+class WorkBudgetExceeded(QueryExecutionError):
+    """A budgeted (counterfactual) execution hit its work-unit cap.
+
+    The partially accumulated cost is carried on the exception so the caller
+    can still use it, mirroring how the paper stops the relational thread at
+    ``lambda * c1`` and takes the capped cost as the observed cost.
+    """
+
+    def __init__(self, message: str, partial_work: float):
+        super().__init__(message)
+        self.partial_work = float(partial_work)
+
+
+class TuningError(ReproError):
+    """The dual-store tuner was configured or invoked incorrectly."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is outside its valid range."""
+
+
+class WorkloadError(ReproError):
+    """A workload or dataset generator was given inconsistent parameters."""

@@ -1,0 +1,95 @@
+"""Execution result types shared by the relational and graph stores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cost.counters import WorkCounters
+from repro.rdf.terms import TermLike
+from repro.sparql.ast import Binding
+
+__all__ = ["ExecutionResult", "ResultTable"]
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of executing one query (or subquery) in one store.
+
+    Attributes
+    ----------
+    bindings:
+        The solution mappings (variable name → term), already projected.
+    variables:
+        The projected variable names, in order.
+    counters:
+        Work performed while producing the result.
+    seconds:
+        Latency attributed to the execution by the cost model (and any
+        resource throttle).  ``0.0`` until a cost model prices the counters.
+    store:
+        ``"relational"``, ``"graph"``, or ``"dual"`` for split plans.
+    truncated:
+        True when a work budget stopped the execution early (counterfactual
+        runs capped at ``lambda * c1``).
+    """
+
+    bindings: List[Binding]
+    variables: Tuple[str, ...]
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    seconds: float = 0.0
+    store: str = "relational"
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def rows(self) -> List[Tuple[TermLike, ...]]:
+        """The solutions as tuples ordered by :attr:`variables`."""
+        return [tuple(binding[name] for name in self.variables) for binding in self.bindings]
+
+    def distinct_rows(self) -> set[Tuple[TermLike, ...]]:
+        return set(self.rows())
+
+    def column(self, variable: str) -> List[TermLike]:
+        """All values bound to ``variable`` across the solutions."""
+        return [binding[variable] for binding in self.bindings if variable in binding]
+
+
+@dataclass
+class ResultTable:
+    """A named intermediate-result table migrated into the relational store.
+
+    Case 2 plans (Section 5) execute the complex subquery in the graph store
+    and ship its solutions into a *temporary relational table space*; this is
+    that table.
+    """
+
+    name: str
+    variables: Tuple[str, ...]
+    rows: List[Tuple[TermLike, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_bindings(self) -> List[Binding]:
+        return [dict(zip(self.variables, row)) for row in self.rows]
+
+    @classmethod
+    def from_result(cls, name: str, result: ExecutionResult) -> "ResultTable":
+        return cls(name=name, variables=result.variables, rows=result.rows())
+
+    def column_index(self, variable: str) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise KeyError(f"variable {variable!r} is not a column of table {self.name!r}") from None
+
+    def build_index(self, variables: Sequence[str]) -> Dict[Tuple[TermLike, ...], List[Tuple[TermLike, ...]]]:
+        """Hash the rows by the given join variables."""
+        positions = [self.column_index(v) for v in variables]
+        index: Dict[Tuple[TermLike, ...], List[Tuple[TermLike, ...]]] = {}
+        for row in self.rows:
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return index

@@ -1,0 +1,82 @@
+"""Experiment drivers — one module per table/figure of the paper's evaluation."""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    run_counterfactual_cap_ablation,
+    run_planner_ablation,
+    run_reward_split_ablation,
+)
+from repro.experiments.cold_start import ColdStartPoint, format_cold_start, run_cold_start
+from repro.experiments.param_tuning import (
+    PARAMETER_GRID,
+    ParameterSweepRow,
+    best_value,
+    format_parameter_sweep,
+    run_parameter_sweep,
+)
+from repro.experiments.resources import (
+    ResourceSlowdownRow,
+    format_resource_slowdown,
+    format_resource_timeline,
+    run_resource_slowdown,
+    run_resource_timeline,
+)
+from repro.experiments.settings import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    LARGE_SETTINGS,
+    TEST_SETTINGS,
+)
+from repro.experiments.store_variants import (
+    StoreVariantReport,
+    VariantComparison,
+    format_store_variants,
+    run_store_variants,
+)
+from repro.experiments.table1 import TABLE1_QUERY, Table1Row, format_table1, run_table1
+from repro.experiments.tuner_comparison import (
+    TUNER_NAMES,
+    TunerComparison,
+    format_tuner_comparison,
+    run_tuner_comparison,
+)
+from repro.experiments.workloads import WORKLOAD_GROUPS, WorkloadSuite, build_suite
+
+__all__ = [
+    "ExperimentSettings",
+    "TEST_SETTINGS",
+    "DEFAULT_SETTINGS",
+    "LARGE_SETTINGS",
+    "WorkloadSuite",
+    "build_suite",
+    "WORKLOAD_GROUPS",
+    "Table1Row",
+    "TABLE1_QUERY",
+    "run_table1",
+    "format_table1",
+    "StoreVariantReport",
+    "VariantComparison",
+    "run_store_variants",
+    "format_store_variants",
+    "ParameterSweepRow",
+    "PARAMETER_GRID",
+    "run_parameter_sweep",
+    "format_parameter_sweep",
+    "best_value",
+    "ColdStartPoint",
+    "run_cold_start",
+    "format_cold_start",
+    "ResourceSlowdownRow",
+    "run_resource_slowdown",
+    "format_resource_slowdown",
+    "run_resource_timeline",
+    "format_resource_timeline",
+    "TunerComparison",
+    "TUNER_NAMES",
+    "run_tuner_comparison",
+    "format_tuner_comparison",
+    "AblationResult",
+    "run_reward_split_ablation",
+    "run_counterfactual_cap_ablation",
+    "run_planner_ablation",
+]

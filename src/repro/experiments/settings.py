@@ -1,0 +1,69 @@
+"""Shared experiment settings: dataset scales and run protocol.
+
+Every experiment accepts an :class:`ExperimentSettings` so the same driver
+can run at test scale (seconds), benchmark scale (the default), or a larger
+"paper-shaped" scale when more time is available.  The paper's datasets are
+14M–60M triples; the synthetic stand-ins default to a few thousand triples,
+which is enough to reproduce every qualitative result deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["ExperimentSettings", "TEST_SETTINGS", "DEFAULT_SETTINGS", "LARGE_SETTINGS"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale and protocol knobs shared by every experiment driver.
+
+    Attributes
+    ----------
+    yago_triples, watdiv_triples, bio2rdf_triples:
+        Approximate synthetic dataset sizes.
+    repetitions, discard:
+        The warm-up protocol: each test runs ``repetitions`` times and the
+        first ``discard`` runs are dropped before averaging (the paper runs 6
+        and keeps the last 5).
+    seed:
+        Seed used for dataset generation and workload shuffling.
+    """
+
+    yago_triples: int = 6000
+    watdiv_triples: int = 8000
+    bio2rdf_triples: int = 8000
+    repetitions: int = 3
+    discard: int = 1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if min(self.yago_triples, self.watdiv_triples, self.bio2rdf_triples) < 200:
+            raise ConfigError("dataset sizes must be at least 200 triples")
+        if self.repetitions < 1 or not 0 <= self.discard < self.repetitions:
+            raise ConfigError("invalid repetition/discard protocol")
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        """Return a copy with all dataset sizes multiplied by ``factor``."""
+        return replace(
+            self,
+            yago_triples=max(200, int(self.yago_triples * factor)),
+            watdiv_triples=max(200, int(self.watdiv_triples * factor)),
+            bio2rdf_triples=max(200, int(self.bio2rdf_triples * factor)),
+        )
+
+
+#: Tiny scale used by the unit/integration tests.
+TEST_SETTINGS = ExperimentSettings(
+    yago_triples=2500, watdiv_triples=3000, bio2rdf_triples=3000, repetitions=2, discard=0
+)
+
+#: The default benchmark scale (seconds per experiment).
+DEFAULT_SETTINGS = ExperimentSettings()
+
+#: A larger scale with the paper's full warm-up protocol.
+LARGE_SETTINGS = ExperimentSettings(
+    yago_triples=20000, watdiv_triples=24000, bio2rdf_triples=24000, repetitions=6, discard=1
+)

@@ -1,0 +1,129 @@
+"""Experiments E2–E4 — Figures 3, 4, and 5: store-variant comparison.
+
+Section 6.2 compares RDB-only, RDB-views, and RDB-GDB on every workload group
+in both ordered and random versions:
+
+* Figure 3 — per-batch TTI on ordered workloads,
+* Figure 4 — per-batch TTI on random workloads,
+* Figure 5 — total TTI per workload group, from which the headline numbers
+  (up to average 43.72% improvement over RDB-only, 63.01% over RDB-views)
+  are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.metrics import WorkloadResult, improvement_percent
+from repro.core.runner import run_workload_repeated
+from repro.core.variants import RDBGDB, RDBOnly, RDBViews
+
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.experiments.workloads import WorkloadSuite, build_suite
+
+__all__ = ["VariantComparison", "StoreVariantReport", "run_store_variants", "format_store_variants"]
+
+VARIANT_NAMES = ["RDB-only", "RDB-views", "RDB-GDB"]
+
+
+@dataclass
+class VariantComparison:
+    """Results of the three variants on one workload group and order."""
+
+    group: str
+    order: str
+    results: Dict[str, WorkloadResult] = field(default_factory=dict)
+
+    def batch_ttis(self, variant: str) -> List[float]:
+        return self.results[variant].batch_ttis()
+
+    def total_tti(self, variant: str) -> float:
+        return self.results[variant].total_tti
+
+    def improvement_over(self, baseline: str, variant: str = "RDB-GDB") -> float:
+        return improvement_percent(self.total_tti(baseline), self.total_tti(variant))
+
+
+@dataclass
+class StoreVariantReport:
+    """All comparisons (Figure 3 + Figure 4 + Figure 5 totals)."""
+
+    comparisons: List[VariantComparison] = field(default_factory=list)
+
+    def find(self, group: str, order: str) -> VariantComparison:
+        for comparison in self.comparisons:
+            if comparison.group == group and comparison.order == order:
+                return comparison
+        raise KeyError(f"no comparison for {group!r} / {order!r}")
+
+    def average_improvement(self, baseline: str) -> float:
+        """Average of RDB-GDB's total-TTI improvement over ``baseline``."""
+        values = [c.improvement_over(baseline) for c in self.comparisons]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def max_improvement(self, baseline: str) -> float:
+        values = [c.improvement_over(baseline) for c in self.comparisons]
+        return max(values) if values else 0.0
+
+
+def _variant_factories():
+    return {
+        "RDB-only": lambda: RDBOnly(),
+        "RDB-views": lambda: RDBViews(),
+        "RDB-GDB": lambda: RDBGDB(),
+    }
+
+
+def run_store_variants(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    groups: List[str] | None = None,
+    orders: List[str] | None = None,
+    suite: WorkloadSuite | None = None,
+) -> StoreVariantReport:
+    """Run the Figure 3/4/5 comparison for the requested groups and orders."""
+    if suite is None:
+        suite = build_suite(settings, groups=groups)
+    orders = orders or ["ordered", "random"]
+    report = StoreVariantReport()
+
+    for group in suite.groups():
+        dataset = suite.dataset_for(group)
+        workload = suite.workload_for(group)
+        for order in orders:
+            batches = workload.batches(order, seed=settings.seed)
+            comparison = VariantComparison(group=group, order=order)
+            for name, factory in _variant_factories().items():
+                variant = factory().load(dataset)
+                comparison.results[name] = run_workload_repeated(
+                    variant,
+                    batches,
+                    repetitions=settings.repetitions,
+                    discard=settings.discard,
+                    label=f"{group}-{order}-{name}",
+                )
+            report.comparisons.append(comparison)
+    return report
+
+
+def format_store_variants(report: StoreVariantReport) -> str:
+    """Figure 3/4 per-batch series plus Figure 5 totals, as text."""
+    lines: List[str] = []
+    for comparison in report.comparisons:
+        lines.append(f"[{comparison.group} / {comparison.order}] per-batch TTI (s)")
+        for name in VARIANT_NAMES:
+            series = "  ".join(f"{tti:7.3f}" for tti in comparison.batch_ttis(name))
+            lines.append(f"  {name:<10} {series}   total {comparison.total_tti(name):7.3f}")
+        lines.append(
+            "  improvement of RDB-GDB: "
+            f"{comparison.improvement_over('RDB-only'):5.1f}% vs RDB-only, "
+            f"{comparison.improvement_over('RDB-views'):5.1f}% vs RDB-views"
+        )
+    lines.append(
+        "Average improvement of RDB-GDB: "
+        f"{report.average_improvement('RDB-only'):5.1f}% vs RDB-only (paper: 43.72%), "
+        f"{report.average_improvement('RDB-views'):5.1f}% vs RDB-views (paper: 63.01%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Experiment E9 — Figure 8: DOTIL versus other tuning policies.
+
+Section 6.4 compares DOTIL with one-off mode (tunes once, knowing the whole
+workload), the LRU policy (most frequent partitions transferred after each
+batch, least-recently-used evicted), and ideal mode (tunes for the *next*
+batch in advance — DOTIL's unreachable upper bound), on four workload groups:
+YAGO, ordered WatDiv, random WatDiv, and Bio2RDF.
+
+Expected shape: DOTIL clearly beats one-off and LRU, and sits close to ideal —
+closer on ordered workloads than on random ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.core.baseline_tuners import IdealTuner, LRUTuner, OneOffTuner
+from repro.core.config import PAPER_TUNED_CONFIG
+from repro.core.metrics import WorkloadResult
+from repro.core.runner import run_workload_repeated
+from repro.core.tuner import Dotil
+from repro.core.variants import RDBGDB
+
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.experiments.workloads import WorkloadSuite, build_suite
+
+__all__ = ["TunerComparison", "run_tuner_comparison", "format_tuner_comparison", "TUNER_NAMES"]
+
+TUNER_NAMES = ["DOTIL", "one-off", "LRU", "ideal"]
+
+#: The four workload groups of Figure 8 as (label, suite group, order) triples.
+FIGURE8_GROUPS = [
+    ("YAGO", "YAGO", "ordered"),
+    ("ordered WatDiv", "WatDiv-C", "ordered"),
+    ("random WatDiv", "WatDiv-C", "random"),
+    ("Bio2RDF", "Bio2RDF", "ordered"),
+]
+
+
+@dataclass
+class TunerComparison:
+    """Per-batch TTI of every tuning policy on one workload group."""
+
+    label: str
+    results: Dict[str, WorkloadResult] = field(default_factory=dict)
+
+    def total_tti(self, tuner: str) -> float:
+        return self.results[tuner].total_tti
+
+    def batch_ttis(self, tuner: str) -> List[float]:
+        return self.results[tuner].batch_ttis()
+
+    def gap_to_ideal(self, tuner: str = "DOTIL") -> float:
+        """Relative distance of ``tuner`` above the ideal mode's total TTI."""
+        ideal = self.total_tti("ideal")
+        if ideal <= 0:
+            return 0.0
+        return (self.total_tti(tuner) - ideal) / ideal
+
+
+def _tuner_factories() -> Dict[str, Callable]:
+    # DOTIL runs with the parameter values Section 6.3.1 settles on (the
+    # tuner comparison in the paper happens after the parameter study).
+    return {
+        "DOTIL": lambda dual: Dotil(dual, PAPER_TUNED_CONFIG),
+        "one-off": lambda dual: OneOffTuner(dual),
+        "LRU": lambda dual: LRUTuner(dual),
+        "ideal": lambda dual: IdealTuner(dual),
+    }
+
+
+def run_tuner_comparison(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    suite: WorkloadSuite | None = None,
+    groups: List[tuple] | None = None,
+) -> List[TunerComparison]:
+    """Run Figure 8's tuner comparison."""
+    wanted = groups or FIGURE8_GROUPS
+    if suite is None:
+        suite = build_suite(settings, groups=sorted({g for _, g, _ in wanted}))
+
+    comparisons: List[TunerComparison] = []
+    for label, group, order in wanted:
+        dataset = suite.dataset_for(group)
+        workload = suite.workload_for(group)
+        batches = workload.batches(order, seed=settings.seed)
+        comparison = TunerComparison(label=label)
+        for tuner_name, factory in _tuner_factories().items():
+            variant = RDBGDB(tuner_factory=factory).load(dataset)
+            comparison.results[tuner_name] = run_workload_repeated(
+                variant,
+                batches,
+                repetitions=settings.repetitions,
+                discard=settings.discard,
+                label=f"{label}-{tuner_name}",
+            )
+        comparisons.append(comparison)
+    return comparisons
+
+
+def format_tuner_comparison(comparisons: List[TunerComparison]) -> str:
+    lines = ["Figure 8 — TTI of DOTIL vs one-off, LRU, and ideal tuning"]
+    for comparison in comparisons:
+        lines.append(f"  [{comparison.label}]")
+        for tuner in TUNER_NAMES:
+            series = "  ".join(f"{tti:7.3f}" for tti in comparison.batch_ttis(tuner))
+            lines.append(f"    {tuner:<8} {series}   total {comparison.total_tti(tuner):7.3f}")
+        lines.append(f"    DOTIL gap to ideal: {100.0 * comparison.gap_to_ideal():5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Workload construction shared by the evaluation experiments.
+
+The paper's Section 6 evaluates six workload groups: YAGO, WatDiv-L/S/F/C,
+and Bio2RDF, each in an ordered and a random version, processed in batches of
+one fifth of the workload.  This module builds all of them from the synthetic
+datasets so every experiment driver (store variants, tuner comparison, cold
+start, parameter sweep) works from the same inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.rdf.graph import TripleSet
+from repro.workload.bio2rdf import generate_bio2rdf, bio2rdf_workload
+from repro.workload.templates import Workload
+from repro.workload.watdiv import generate_watdiv, watdiv_workload
+from repro.workload.yago import generate_yago, yago_workload
+
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+
+__all__ = ["WorkloadSuite", "build_suite", "WORKLOAD_GROUPS"]
+
+#: The six workload groups of the paper's evaluation, in presentation order.
+WORKLOAD_GROUPS = ["YAGO", "WatDiv-L", "WatDiv-S", "WatDiv-F", "WatDiv-C", "Bio2RDF"]
+
+
+@dataclass
+class WorkloadSuite:
+    """All datasets and workloads the evaluation needs, built once."""
+
+    settings: ExperimentSettings
+    datasets: Dict[str, TripleSet] = field(default_factory=dict)
+    workloads: Dict[str, Workload] = field(default_factory=dict)
+
+    def dataset_for(self, group: str) -> TripleSet:
+        """The knowledge graph a workload group runs against."""
+        if group.startswith("WatDiv"):
+            return self.datasets["WatDiv"]
+        if group in self.datasets:
+            return self.datasets[group]
+        raise KeyError(f"unknown workload group {group!r}")
+
+    def workload_for(self, group: str) -> Workload:
+        return self.workloads[group]
+
+    def groups(self) -> List[str]:
+        return [g for g in WORKLOAD_GROUPS if g in self.workloads]
+
+
+def build_suite(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    groups: List[str] | None = None,
+) -> WorkloadSuite:
+    """Generate the datasets and workloads for the requested groups.
+
+    ``groups`` defaults to all six; restricting it keeps test runs fast.
+    """
+    wanted = groups if groups is not None else list(WORKLOAD_GROUPS)
+    suite = WorkloadSuite(settings=settings)
+
+    if "YAGO" in wanted:
+        yago = generate_yago(settings.yago_triples, seed=settings.seed)
+        suite.datasets["YAGO"] = yago.triples
+        suite.workloads["YAGO"] = yago_workload(yago, seed=settings.seed + 1)
+
+    watdiv_groups = [g for g in wanted if g.startswith("WatDiv")]
+    if watdiv_groups:
+        watdiv = generate_watdiv(settings.watdiv_triples, seed=settings.seed + 2)
+        suite.datasets["WatDiv"] = watdiv.triples
+        family_by_group = {
+            "WatDiv-L": "linear",
+            "WatDiv-S": "star",
+            "WatDiv-F": "snowflake",
+            "WatDiv-C": "complex",
+        }
+        for group in watdiv_groups:
+            family = family_by_group[group]
+            suite.workloads[group] = watdiv_workload(watdiv, family=family, seed=settings.seed + 3)
+
+    if "Bio2RDF" in wanted:
+        bio = generate_bio2rdf(settings.bio2rdf_triples, seed=settings.seed + 4)
+        suite.datasets["Bio2RDF"] = bio.triples
+        suite.workloads["Bio2RDF"] = bio2rdf_workload(bio, seed=settings.seed + 5)
+
+    return suite

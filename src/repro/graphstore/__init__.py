@@ -1,0 +1,7 @@
+"""Native graph store (Neo4j stand-in): property graph, traversal matcher, budgeted store."""
+
+from repro.graphstore.matcher import GraphMatcher
+from repro.graphstore.property_graph import PropertyGraph
+from repro.graphstore.store import GraphStore
+
+__all__ = ["PropertyGraph", "GraphMatcher", "GraphStore"]

@@ -1,0 +1,186 @@
+"""Basic-graph-pattern matching by graph traversal with work accounting.
+
+The matcher evaluates a BGP by expanding bindings one pattern at a time using
+the adjacency lists of :class:`~repro.graphstore.property_graph.PropertyGraph`
+— the index-free-adjacency evaluation style the paper attributes to Neo4j.
+Work is charged as:
+
+* ``nodes_expanded`` — each time a vertex's adjacency list is opened,
+* ``edges_traversed`` — each neighbour (or type-scan edge) inspected.
+
+Because each step extends existing bindings through adjacency lists, the work
+is proportional to the traversed neighbourhood rather than the total graph
+size, which is what keeps the graph store's latency flat as the knowledge
+graph grows (the paper's Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cost.counters import WorkCounters
+from repro.errors import QueryExecutionError
+from repro.execution import ExecutionResult
+from repro.rdf.terms import IRI, TermLike, Variable
+from repro.sparql.ast import Binding, SelectQuery, TriplePattern
+from repro.sparql.algebra import order_patterns_greedily
+
+from repro.graphstore.property_graph import PropertyGraph
+
+__all__ = ["GraphMatcher"]
+
+
+class GraphMatcher:
+    """Evaluates SELECT queries against a property graph by traversal."""
+
+    def __init__(self, graph: PropertyGraph):
+        self._graph = graph
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: SelectQuery,
+        pattern_order: Sequence[TriplePattern] | None = None,
+    ) -> ExecutionResult:
+        """Match the query's BGP and return projected solutions.
+
+        ``pattern_order`` overrides the traversal order (used by the planner
+        ablation benchmark); by default patterns are ordered greedily by
+        selectivity and per-predicate edge counts.
+        """
+        for pattern in query.patterns:
+            if not isinstance(pattern.predicate, IRI):
+                raise QueryExecutionError(
+                    "the graph store only evaluates patterns with concrete predicates"
+                )
+
+        cardinality = {p: self._graph.predicate_count(p) for p in {pt.predicate for pt in query.patterns}}
+        if pattern_order is None:
+            ordered = order_patterns_greedily(query.patterns, cardinality=cardinality)
+        else:
+            ordered = list(pattern_order)
+
+        counters = WorkCounters(queries_issued=1)
+        bindings: List[Binding] = [{}]
+        for pattern in ordered:
+            bindings = self._extend(bindings, pattern, counters)
+            if not bindings:
+                break
+
+        bindings = [b for b in bindings if all(f.evaluate(b) for f in query.filters)]
+        names = query.projected_names()
+        projected = [{name: b[name] for name in names if name in b} for b in bindings]
+        if query.distinct:
+            projected = _distinct(projected, names)
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        counters.results_produced += len(projected)
+
+        return ExecutionResult(
+            bindings=projected,
+            variables=tuple(names),
+            counters=counters,
+            store="graph",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pattern extension
+    # ------------------------------------------------------------------ #
+    def _extend(
+        self,
+        bindings: List[Binding],
+        pattern: TriplePattern,
+        counters: WorkCounters,
+    ) -> List[Binding]:
+        output: List[Binding] = []
+        for binding in bindings:
+            output.extend(self._extend_one(binding, pattern, counters))
+        return output
+
+    def _extend_one(
+        self,
+        binding: Binding,
+        pattern: TriplePattern,
+        counters: WorkCounters,
+    ) -> List[Binding]:
+        predicate = pattern.predicate
+        assert isinstance(predicate, IRI)
+        subject = self._resolve(pattern.subject, binding)
+        obj = self._resolve(pattern.object, binding)
+
+        results: List[Binding] = []
+
+        if subject is not None and obj is not None:
+            # Both endpoints known: a containment check along the adjacency list.
+            counters.nodes_expanded += 1
+            neighbours = self._graph.out_neighbours(subject, predicate)
+            counters.edges_traversed += len(neighbours)
+            if obj in neighbours:
+                results.append(dict(binding))
+            return results
+
+        if subject is not None:
+            counters.nodes_expanded += 1
+            neighbours = self._graph.out_neighbours(subject, predicate)
+            counters.edges_traversed += len(neighbours)
+            for target in neighbours:
+                extended = self._bind(binding, pattern.object, target)
+                if extended is not None:
+                    results.append(extended)
+            return results
+
+        if obj is not None:
+            counters.nodes_expanded += 1
+            neighbours = self._graph.in_neighbours(obj, predicate)
+            counters.edges_traversed += len(neighbours)
+            for source in neighbours:
+                extended = self._bind(binding, pattern.subject, source)
+                if extended is not None:
+                    results.append(extended)
+            return results
+
+        # Neither endpoint bound: relationship-type scan.
+        for source, target in self._graph.edges(predicate):
+            counters.edges_traversed += 1
+            extended = self._bind(binding, pattern.subject, source)
+            if extended is None:
+                continue
+            extended = self._bind(extended, pattern.object, target)
+            if extended is not None:
+                results.append(extended)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve(term: TermLike, binding: Binding) -> Optional[TermLike]:
+        """A concrete vertex for ``term`` under ``binding``, or ``None``."""
+        if isinstance(term, Variable):
+            return binding.get(term.name)
+        return term
+
+    @staticmethod
+    def _bind(binding: Binding, term: TermLike, value: TermLike) -> Optional[Binding]:
+        """Bind ``term`` (a variable or constant) to ``value`` if compatible."""
+        if isinstance(term, Variable):
+            existing = binding.get(term.name)
+            if existing is not None:
+                return dict(binding) if existing == value else None
+            extended = dict(binding)
+            extended[term.name] = value
+            return extended
+        return dict(binding) if term == value else None
+
+
+def _distinct(bindings: List[Binding], names: tuple[str, ...]) -> List[Binding]:
+    seen: set[tuple] = set()
+    unique: List[Binding] = []
+    for binding in bindings:
+        key = tuple(binding.get(name) for name in names)
+        if key not in seen:
+            seen.add(key)
+            unique.append(binding)
+    return unique

@@ -1,0 +1,130 @@
+"""An adjacency-list property graph — the Neo4j stand-in's storage layer.
+
+The defining property the paper relies on is *index-free adjacency*: once a
+vertex is located, its neighbours are reached by following its adjacency
+list, so traversal cost depends only on the traversed neighbourhood.  This
+class stores exactly that structure:
+
+* ``out`` adjacency — vertex → predicate → list of target vertices,
+* ``in`` adjacency — vertex → predicate → list of source vertices,
+* a per-predicate edge list (Neo4j's relationship-type scan), used when a
+  pattern binds neither endpoint.
+
+Vertices are RDF terms (IRIs, literals, blank nodes); edges are labelled by
+predicate IRIs.  Parallel edges with the same label are deduplicated, like
+triples in an RDF graph.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.rdf.terms import IRI, TermLike, Triple
+
+__all__ = ["PropertyGraph"]
+
+
+class PropertyGraph:
+    """In-memory labelled multigraph with per-predicate edge indexes."""
+
+    def __init__(self) -> None:
+        self._out: Dict[TermLike, Dict[IRI, List[TermLike]]] = defaultdict(lambda: defaultdict(list))
+        self._in: Dict[TermLike, Dict[IRI, List[TermLike]]] = defaultdict(lambda: defaultdict(list))
+        self._edges_by_predicate: Dict[IRI, List[Tuple[TermLike, TermLike]]] = defaultdict(list)
+        self._edge_set: Set[Tuple[TermLike, IRI, TermLike]] = set()
+        self._vertices: Set[TermLike] = set()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, subject: TermLike, predicate: IRI, obj: TermLike) -> bool:
+        """Add one labelled edge; returns ``True`` when it was new."""
+        key = (subject, predicate, obj)
+        if key in self._edge_set:
+            return False
+        self._edge_set.add(key)
+        self._out[subject][predicate].append(obj)
+        self._in[obj][predicate].append(subject)
+        self._edges_by_predicate[predicate].append((subject, obj))
+        self._vertices.add(subject)
+        self._vertices.add(obj)
+        return True
+
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Add RDF triples as edges; returns the number of new edges."""
+        return sum(1 for t in triples if self.add_edge(t.subject, t.predicate, t.object))
+
+    def remove_predicate(self, predicate: IRI) -> int:
+        """Remove every edge with the given label; returns edges removed.
+
+        This is how a triple partition is *evicted* from the graph store.
+        Vertex entries left with no edges are dropped as well.
+        """
+        pairs = self._edges_by_predicate.pop(predicate, [])
+        for subject, obj in pairs:
+            self._edge_set.discard((subject, predicate, obj))
+            out_lists = self._out.get(subject)
+            if out_lists is not None and predicate in out_lists:
+                out_lists.pop(predicate, None)
+            in_lists = self._in.get(obj)
+            if in_lists is not None and predicate in in_lists:
+                in_lists.pop(predicate, None)
+        # Drop now-isolated vertices.
+        for subject, obj in pairs:
+            for vertex in (subject, obj):
+                if not self._out.get(vertex) and not self._in.get(vertex):
+                    self._out.pop(vertex, None)
+                    self._in.pop(vertex, None)
+                    self._vertices.discard(vertex)
+        return len(pairs)
+
+    # ------------------------------------------------------------------ #
+    # Size
+    # ------------------------------------------------------------------ #
+    def edge_count(self) -> int:
+        return len(self._edge_set)
+
+    def vertex_count(self) -> int:
+        return len(self._vertices)
+
+    def predicate_count(self, predicate: IRI) -> int:
+        return len(self._edges_by_predicate.get(predicate, ()))
+
+    def predicates(self) -> List[IRI]:
+        return sorted((p for p, pairs in self._edges_by_predicate.items() if pairs), key=lambda p: p.value)
+
+    def __len__(self) -> int:
+        return self.edge_count()
+
+    def __contains__(self, edge: Tuple[TermLike, IRI, TermLike]) -> bool:
+        return edge in self._edge_set
+
+    # ------------------------------------------------------------------ #
+    # Traversal access paths (index-free adjacency)
+    # ------------------------------------------------------------------ #
+    def out_neighbours(self, vertex: TermLike, predicate: IRI) -> List[TermLike]:
+        """Targets of ``vertex --predicate-->``; empty when none."""
+        return self._out.get(vertex, {}).get(predicate, [])
+
+    def in_neighbours(self, vertex: TermLike, predicate: IRI) -> List[TermLike]:
+        """Sources of ``--predicate--> vertex``; empty when none."""
+        return self._in.get(vertex, {}).get(predicate, [])
+
+    def edges(self, predicate: IRI) -> Iterator[Tuple[TermLike, TermLike]]:
+        """All (subject, object) pairs carrying ``predicate`` (type scan)."""
+        return iter(self._edges_by_predicate.get(predicate, ()))
+
+    def has_vertex(self, vertex: TermLike) -> bool:
+        return vertex in self._vertices
+
+    def degree(self, vertex: TermLike) -> int:
+        """Total degree of a vertex across all predicates."""
+        out_degree = sum(len(v) for v in self._out.get(vertex, {}).values())
+        in_degree = sum(len(v) for v in self._in.get(vertex, {}).values())
+        return out_degree + in_degree
+
+    def triples(self) -> Iterator[Triple]:
+        """Decode the stored edges back into RDF triples."""
+        for subject, predicate, obj in self._edge_set:
+            yield Triple(subject, predicate, obj)

@@ -1,0 +1,182 @@
+"""Graph store facade (the Neo4j stand-in of the dual-store structure).
+
+The graph store is the *accelerator*: it holds only the triple partitions the
+tuner has transferred, is bounded by a storage budget ``B_G``, is expensive to
+bulk-load (the paper's reason for not keeping the master copy here), and is
+fast for complex queries thanks to index-free adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.cost.resources import ResourceThrottle
+from repro.errors import StorageBudgetExceeded, StorageError, UnknownPartitionError
+from repro.execution import ExecutionResult
+from repro.rdf.terms import IRI, Triple
+from repro.sparql.ast import SelectQuery, TriplePattern
+
+from repro.graphstore.matcher import GraphMatcher
+from repro.graphstore.property_graph import PropertyGraph
+
+__all__ = ["GraphStore"]
+
+
+class GraphStore:
+    """A budget-constrained, partition-granular native graph store.
+
+    Parameters
+    ----------
+    storage_budget:
+        Maximum number of triples the store may hold (the paper's ``B_G``).
+        ``None`` means unbounded (useful for the standalone Table 1 sweep).
+    cost_model:
+        Prices traversal work and bulk imports.
+    throttle:
+        Optional :class:`ResourceThrottle` modelling limited spare IO/CPU
+        (Section 6.3.3); scales query latency and records Figure 7 samples.
+    """
+
+    def __init__(
+        self,
+        storage_budget: Optional[int] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        throttle: Optional[ResourceThrottle] = None,
+    ):
+        if storage_budget is not None and storage_budget < 0:
+            raise StorageError("storage budget must be non-negative")
+        self.storage_budget = storage_budget
+        self.cost_model = cost_model
+        self.throttle = throttle
+        self.graph = PropertyGraph()
+        self._matcher = GraphMatcher(self.graph)
+        self._partitions: Dict[IRI, int] = {}
+        self.total_import_seconds = 0.0
+        self.import_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Partition management
+    # ------------------------------------------------------------------ #
+    @property
+    def loaded_predicates(self) -> Set[IRI]:
+        """Predicates whose partitions currently live in the graph store."""
+        return set(self._partitions)
+
+    def partition_size(self, predicate: IRI) -> int:
+        try:
+            return self._partitions[predicate]
+        except KeyError:
+            raise UnknownPartitionError(f"partition {predicate.value!r} is not loaded") from None
+
+    def used_capacity(self) -> int:
+        """Triples currently stored."""
+        return sum(self._partitions.values())
+
+    def remaining_capacity(self) -> Optional[int]:
+        """Triples that still fit, or ``None`` when unbounded."""
+        if self.storage_budget is None:
+            return None
+        return self.storage_budget - self.used_capacity()
+
+    def fits(self, triple_count: int) -> bool:
+        remaining = self.remaining_capacity()
+        return remaining is None or triple_count <= remaining
+
+    def load_partition(self, predicate: IRI, triples: Iterable[Triple]) -> float:
+        """Bulk-import one triple partition; returns the import latency.
+
+        Raises
+        ------
+        StorageBudgetExceeded
+            If the partition does not fit in the remaining budget.  Nothing is
+            loaded in that case.
+        StorageError
+            If a triple's predicate differs from ``predicate``.
+        """
+        staged = list(triples)
+        for triple in staged:
+            if triple.predicate != predicate:
+                raise StorageError(
+                    f"triple predicate {triple.predicate.value!r} does not belong to partition {predicate.value!r}"
+                )
+        if predicate in self._partitions:
+            # Re-loading an existing partition replaces it (idempotent refresh).
+            self.evict_partition(predicate)
+        if not self.fits(len(staged)):
+            raise StorageBudgetExceeded(
+                f"partition {predicate.value!r} ({len(staged)} triples) exceeds the remaining "
+                f"graph-store budget ({self.remaining_capacity()} triples)"
+            )
+        added = self.graph.add_triples(staged)
+        self._partitions[predicate] = added
+        seconds = self.cost_model.graph_import_seconds(added)
+        if self.throttle is not None:
+            seconds = self.throttle.apply(seconds)
+        self.total_import_seconds += seconds
+        self.import_count += 1
+        return seconds
+
+    def evict_partition(self, predicate: IRI) -> int:
+        """Remove one partition; returns the number of triples evicted."""
+        if predicate not in self._partitions:
+            raise UnknownPartitionError(f"partition {predicate.value!r} is not loaded")
+        removed = self.graph.remove_predicate(predicate)
+        del self._partitions[predicate]
+        return removed
+
+    def clear(self) -> None:
+        """Evict everything (used when re-initialising an experiment)."""
+        for predicate in list(self._partitions):
+            self.evict_partition(predicate)
+
+    def __len__(self) -> int:
+        return self.used_capacity()
+
+    # ------------------------------------------------------------------ #
+    # Coverage checks used by the query processor
+    # ------------------------------------------------------------------ #
+    def covers(self, predicates: Iterable[IRI]) -> bool:
+        """True when every given predicate's partition is loaded."""
+        return set(predicates) <= self.loaded_predicates
+
+    def covers_query(self, query: SelectQuery) -> bool:
+        return self.covers(query.predicates())
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: SelectQuery,
+        pattern_order: Sequence[TriplePattern] | None = None,
+    ) -> ExecutionResult:
+        """Evaluate a query whose predicates are all loaded.
+
+        Raises
+        ------
+        StorageError
+            When some predicate of the query has not been transferred; the
+            query processor is responsible for routing such queries to the
+            relational store instead.
+        """
+        missing = query.predicates() - self.loaded_predicates
+        if missing:
+            names = ", ".join(sorted(p.value for p in missing))
+            raise StorageError(f"graph store does not hold partitions for: {names}")
+        result = self._matcher.execute(query, pattern_order=pattern_order)
+        seconds = self.cost_model.graph_query_seconds(result.counters)
+        if self.throttle is not None:
+            seconds = self.throttle.apply(seconds)
+        result.seconds = seconds
+        result.store = "graph"
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def partition_sizes(self) -> Dict[IRI, int]:
+        return dict(self._partitions)
+
+    def predicates(self) -> List[IRI]:
+        return sorted(self._partitions, key=lambda p: p.value)

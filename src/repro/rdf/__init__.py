@@ -1,0 +1,56 @@
+"""RDF data model: terms, triples, namespaces, triple sets, and N-Triples IO."""
+
+from repro.rdf.dictionary import EncodedTriple, TermDictionary
+from repro.rdf.graph import TripleSet
+from repro.rdf.namespace import (
+    BIO2RDF,
+    DEFAULT_PREFIXES,
+    RDF,
+    RDFS,
+    WATDIV,
+    XSD,
+    YAGO,
+    Namespace,
+    PrefixMap,
+)
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from repro.rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    Term,
+    TermLike,
+    Triple,
+    Variable,
+)
+
+__all__ = [
+    "BlankNode",
+    "IRI",
+    "Literal",
+    "Term",
+    "TermLike",
+    "Triple",
+    "Variable",
+    "Namespace",
+    "PrefixMap",
+    "DEFAULT_PREFIXES",
+    "YAGO",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "WATDIV",
+    "BIO2RDF",
+    "TripleSet",
+    "TermDictionary",
+    "EncodedTriple",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "serialize_ntriples",
+    "write_ntriples_file",
+]

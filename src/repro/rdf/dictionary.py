@@ -1,0 +1,90 @@
+"""Dictionary encoding of RDF terms to dense integer identifiers.
+
+Both stores map terms to integers internally: the relational triple table
+stores integer columns (far cheaper to join than long IRI strings), and the
+graph store uses integer vertex identifiers for its adjacency lists.  The
+:class:`TermDictionary` provides a shared, append-only bidirectional mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import StorageError
+from repro.rdf.terms import TermLike, Triple
+
+__all__ = ["TermDictionary", "EncodedTriple"]
+
+#: A triple encoded as (subject_id, predicate_id, object_id).
+EncodedTriple = Tuple[int, int, int]
+
+
+class TermDictionary:
+    """Bidirectional mapping between RDF terms and integer identifiers.
+
+    Identifiers are assigned densely starting at 0 in first-seen order, so
+    encoding the same data twice yields identical identifiers — important for
+    deterministic tests and benchmarks.
+    """
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[TermLike, int] = {}
+        self._id_to_term: List[TermLike] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: TermLike) -> bool:
+        return term in self._term_to_id
+
+    def encode(self, term: TermLike) -> int:
+        """Return the identifier for ``term``, assigning a new one if needed."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def encode_existing(self, term: TermLike) -> int:
+        """Return the identifier for ``term`` or raise if it was never seen."""
+        try:
+            return self._term_to_id[term]
+        except KeyError:
+            raise StorageError(f"term {term!r} is not in the dictionary") from None
+
+    def decode(self, term_id: int) -> TermLike:
+        """Return the term for ``term_id``."""
+        if not 0 <= term_id < len(self._id_to_term):
+            raise StorageError(f"identifier {term_id} is outside the dictionary range")
+        return self._id_to_term[term_id]
+
+    def lookup(self, term: TermLike) -> int | None:
+        """Return the identifier for ``term`` or ``None`` when unknown."""
+        return self._term_to_id.get(term)
+
+    def encode_triple(self, triple: Triple) -> EncodedTriple:
+        return (
+            self.encode(triple.subject),
+            self.encode(triple.predicate),
+            self.encode(triple.object),
+        )
+
+    def decode_triple(self, encoded: EncodedTriple) -> Triple:
+        subject_id, predicate_id, object_id = encoded
+        return Triple(
+            self.decode(subject_id),
+            self.decode(predicate_id),  # type: ignore[arg-type]
+            self.decode(object_id),
+        )
+
+    def encode_triples(self, triples: Iterable[Triple]) -> Iterator[EncodedTriple]:
+        for triple in triples:
+            yield self.encode_triple(triple)
+
+    def terms(self) -> Iterator[TermLike]:
+        return iter(self._id_to_term)
+
+    def items(self) -> Iterator[Tuple[TermLike, int]]:
+        return iter(self._term_to_id.items())

@@ -1,0 +1,150 @@
+"""Namespace helpers for building IRIs concisely.
+
+Knowledge graphs in the paper's evaluation (YAGO, WatDiv, Bio2RDF) use long
+IRIs with a shared prefix.  A :class:`Namespace` lets library code and tests
+write ``YAGO.wasBornIn`` instead of the full IRI, and :class:`PrefixMap`
+handles prefixed-name expansion/compaction for the SPARQL parser and for
+pretty-printing results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping
+
+from repro.errors import TermError
+from repro.rdf.terms import IRI
+
+__all__ = ["Namespace", "PrefixMap", "YAGO", "RDF", "RDFS", "XSD", "WATDIV", "BIO2RDF", "DEFAULT_PREFIXES"]
+
+
+class Namespace:
+    """A base IRI that mints full IRIs via attribute or item access.
+
+    Examples
+    --------
+    >>> yago = Namespace("http://yago-knowledge.org/resource/")
+    >>> yago.wasBornIn
+    IRI(value='http://yago-knowledge.org/resource/wasBornIn')
+    >>> yago["Albert_Einstein"].value
+    'http://yago-knowledge.org/resource/Albert_Einstein'
+    """
+
+    def __init__(self, base: str):
+        if not base:
+            raise TermError("namespace base IRI must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local: str) -> IRI:
+        """Return the IRI for a local name within this namespace."""
+        if not local:
+            raise TermError("local name must be non-empty")
+        return IRI(self._base + local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __contains__(self, iri: IRI | str) -> bool:
+        value = iri.value if isinstance(iri, IRI) else iri
+        return value.startswith(self._base)
+
+    def local_name(self, iri: IRI | str) -> str:
+        """Strip the namespace base from an IRI inside this namespace."""
+        value = iri.value if isinstance(iri, IRI) else iri
+        if not value.startswith(self._base):
+            raise TermError(f"{value!r} is not in namespace {self._base!r}")
+        return value[len(self._base):]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Namespace({self._base!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self) -> int:
+        return hash(self._base)
+
+
+class PrefixMap:
+    """A bidirectional mapping between prefixes and namespace bases."""
+
+    def __init__(self, prefixes: Mapping[str, Namespace | str] | None = None):
+        self._by_prefix: Dict[str, Namespace] = {}
+        if prefixes:
+            for prefix, namespace in prefixes.items():
+                self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: Namespace | str) -> None:
+        """Associate ``prefix`` with ``namespace`` (later binds win)."""
+        if isinstance(namespace, str):
+            namespace = Namespace(namespace)
+        self._by_prefix[prefix] = namespace
+
+    def namespace(self, prefix: str) -> Namespace:
+        try:
+            return self._by_prefix[prefix]
+        except KeyError:
+            raise TermError(f"unknown prefix {prefix!r}") from None
+
+    def expand(self, prefixed: str) -> IRI:
+        """Expand a prefixed name such as ``y:wasBornIn`` to a full IRI."""
+        if ":" not in prefixed:
+            raise TermError(f"{prefixed!r} is not a prefixed name")
+        prefix, local = prefixed.split(":", 1)
+        return self.namespace(prefix).term(local)
+
+    def compact(self, iri: IRI | str) -> str:
+        """Compact an IRI to ``prefix:local`` when a binding covers it."""
+        value = iri.value if isinstance(iri, IRI) else iri
+        best_prefix = None
+        best_base = ""
+        for prefix, namespace in self._by_prefix.items():
+            base = namespace.base
+            if value.startswith(base) and len(base) > len(best_base):
+                best_prefix, best_base = prefix, base
+        if best_prefix is None:
+            return value
+        return f"{best_prefix}:{value[len(best_base):]}"
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._by_prefix
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_prefix)
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)
+
+    def copy(self) -> "PrefixMap":
+        clone = PrefixMap()
+        clone._by_prefix = dict(self._by_prefix)
+        return clone
+
+
+#: Namespaces used throughout the reproduction's datasets and examples.
+YAGO = Namespace("http://yago-knowledge.org/resource/")
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+WATDIV = Namespace("http://db.uwaterloo.ca/~galuc/wsdbm/")
+BIO2RDF = Namespace("http://bio2rdf.org/")
+
+DEFAULT_PREFIXES = PrefixMap(
+    {
+        "y": YAGO,
+        "yago": YAGO,
+        "rdf": RDF,
+        "rdfs": RDFS,
+        "xsd": XSD,
+        "wsdbm": WATDIV,
+        "bio": BIO2RDF,
+    }
+)

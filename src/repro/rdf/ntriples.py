@@ -1,0 +1,121 @@
+"""A small, strict N-Triples reader and writer.
+
+The dataset generators can persist knowledge graphs to disk and the stores
+can bulk-load them back; N-Triples is the line-oriented exchange format used
+for that.  The implementation supports the full term model in
+:mod:`repro.rdf.terms` (IRIs, plain / typed / language-tagged literals, blank
+nodes) and reports parse failures with line numbers.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.errors import ParseError
+from repro.rdf.terms import XSD_STRING, BlankNode, IRI, Literal, TermLike, Triple
+
+__all__ = ["parse_ntriples", "parse_ntriples_file", "serialize_ntriples", "write_ntriples_file"]
+
+_IRI_RE = re.compile(r"<([^<>\s]*)>")
+_BLANK_RE = re.compile(r"_:([A-Za-z0-9_]+)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'  # lexical form with escapes
+    r"(?:@([a-zA-Z][a-zA-Z0-9-]*)|\^\^<([^<>\s]*)>)?"  # optional language or datatype
+)
+
+_ESCAPES = {"\\n": "\n", "\\r": "\r", "\\t": "\t", '\\"': '"', "\\\\": "\\"}
+
+
+def _unescape(lexical: str) -> str:
+    out = []
+    i = 0
+    while i < len(lexical):
+        if lexical[i] == "\\" and i + 1 < len(lexical):
+            pair = lexical[i : i + 2]
+            if pair in _ESCAPES:
+                out.append(_ESCAPES[pair])
+                i += 2
+                continue
+        out.append(lexical[i])
+        i += 1
+    return "".join(out)
+
+
+def _parse_term(text: str, line_no: int) -> tuple[TermLike, str]:
+    """Parse one term at the start of ``text``; return (term, remainder)."""
+    text = text.lstrip()
+    if not text:
+        raise ParseError("unexpected end of line while reading a term", line=line_no)
+    if text[0] == "<":
+        match = _IRI_RE.match(text)
+        if not match:
+            raise ParseError(f"malformed IRI near {text[:40]!r}", line=line_no)
+        return IRI(match.group(1)), text[match.end():]
+    if text.startswith("_:"):
+        match = _BLANK_RE.match(text)
+        if not match:
+            raise ParseError(f"malformed blank node near {text[:40]!r}", line=line_no)
+        return BlankNode(match.group(1)), text[match.end():]
+    if text[0] == '"':
+        match = _LITERAL_RE.match(text)
+        if not match:
+            raise ParseError(f"malformed literal near {text[:40]!r}", line=line_no)
+        lexical = _unescape(match.group(1))
+        language = match.group(2)
+        datatype = match.group(3)
+        if language:
+            literal = Literal(lexical, XSD_STRING, language)
+        elif datatype:
+            literal = Literal(lexical, datatype)
+        else:
+            literal = Literal(lexical)
+        return literal, text[match.end():]
+    raise ParseError(f"unrecognised term near {text[:40]!r}", line=line_no)
+
+
+def parse_ntriples(source: Union[str, IO[str]]) -> Iterator[Triple]:
+    """Yield triples from an N-Triples string or text stream.
+
+    Blank lines and ``#`` comment lines are skipped.  Every other line must
+    be a well-formed triple terminated by ``.``.
+    """
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    for line_no, raw_line in enumerate(stream, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not line.endswith("."):
+            raise ParseError("triple line must end with '.'", line=line_no)
+        body = line[:-1]
+        subject, rest = _parse_term(body, line_no)
+        predicate, rest = _parse_term(rest, line_no)
+        obj, rest = _parse_term(rest, line_no)
+        if rest.strip():
+            raise ParseError(f"trailing content after triple: {rest.strip()!r}", line=line_no)
+        if not isinstance(predicate, IRI):
+            raise ParseError("triple predicate must be an IRI", line=line_no)
+        yield Triple(subject, predicate, obj)
+
+
+def parse_ntriples_file(path: Union[str, Path]) -> Iterator[Triple]:
+    """Yield triples from an N-Triples file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from parse_ntriples(handle)
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to an N-Triples string (one line per triple)."""
+    return "".join(triple.n3() + "\n" for triple in triples)
+
+
+def write_ntriples_file(triples: Iterable[Triple], path: Union[str, Path]) -> int:
+    """Write triples to ``path``; return the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(triple.n3() + "\n")
+            count += 1
+    return count

@@ -1,0 +1,230 @@
+"""RDF term model: IRIs, literals, blank nodes, variables, and triples.
+
+The dual-store structure manipulates knowledge graphs as sets of triples
+``(subject, predicate, object)``.  This module defines the immutable value
+objects those triples are made of.  Terms are hashable and totally ordered so
+they can be used as dictionary keys, stored in sorted containers, and compared
+deterministically in tests.
+
+The model intentionally covers the subset of RDF 1.1 that the paper's
+evaluation needs: IRIs, plain / typed / language-tagged literals, blank nodes,
+and query variables (variables are not RDF terms proper, but modelling them
+here lets triple *patterns* reuse the same machinery as concrete triples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import TermError
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "Triple",
+    "TermLike",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DOUBLE",
+    "XSD_BOOLEAN",
+]
+
+XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+XSD_BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+
+# Sort keys used to order heterogeneous terms deterministically.
+_KIND_ORDER = {"iri": 0, "blank": 1, "literal": 2, "variable": 3}
+
+
+class Term:
+    """Common base class for every RDF term and for query variables."""
+
+    __slots__ = ()
+
+    #: subclasses override with one of ``iri``, ``literal``, ``blank``, ``variable``
+    kind: str = "term"
+
+    def n3(self) -> str:
+        """Return the N-Triples / SPARQL surface syntax of the term."""
+        raise NotImplementedError
+
+    def sort_key(self) -> tuple:
+        """Key that orders terms first by kind then by value."""
+        return (_KIND_ORDER.get(self.kind, 99), str(self))
+
+    @property
+    def is_variable(self) -> bool:
+        return self.kind == "variable"
+
+    @property
+    def is_concrete(self) -> bool:
+        """True for terms that may appear in stored data (not variables)."""
+        return self.kind != "variable"
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+
+@dataclass(frozen=True, slots=True)
+class IRI(Term):
+    """An absolute IRI, e.g. ``http://yago-knowledge.org/resource/wasBornIn``."""
+
+    value: str
+
+    kind = "iri"
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise TermError("IRI value must be a non-empty string")
+        if any(ch in self.value for ch in "<> \t\n"):
+            raise TermError(f"IRI contains characters that are not allowed: {self.value!r}")
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def local_name(self) -> str:
+        """Return the fragment / last path segment, useful for display."""
+        for sep in ("#", "/", ":"):
+            if sep in self.value:
+                tail = self.value.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Term):
+    """An RDF literal with optional datatype or language tag."""
+
+    lexical: str
+    datatype: str = XSD_STRING
+    language: str | None = None
+
+    kind = "literal"
+
+    def __post_init__(self) -> None:
+        if self.language is not None and self.datatype != XSD_STRING:
+            raise TermError("a language-tagged literal cannot also carry a datatype")
+        if self.language is not None and not self.language:
+            raise TermError("language tag must be non-empty when provided")
+
+    @classmethod
+    def from_python(cls, value: Union[str, int, float, bool]) -> "Literal":
+        """Build a literal with the natural XSD datatype for a Python value."""
+        if isinstance(value, bool):
+            return cls("true" if value else "false", XSD_BOOLEAN)
+        if isinstance(value, int):
+            return cls(str(value), XSD_INTEGER)
+        if isinstance(value, float):
+            return cls(repr(value), XSD_DOUBLE)
+        return cls(str(value), XSD_STRING)
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Convert back to the closest Python value for the datatype."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype == XSD_DOUBLE:
+            return float(self.lexical)
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language is not None:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.lexical
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode(Term):
+    """An RDF blank node identified by a local label."""
+
+    label: str
+
+    kind = "blank"
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise TermError("blank node label must be non-empty")
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A SPARQL query variable, e.g. ``?p``.  The name excludes the ``?``."""
+
+    name: str
+
+    kind = "variable"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TermError("variable name must be non-empty")
+        if self.name.startswith("?") or self.name.startswith("$"):
+            raise TermError("variable name must not include the ? or $ prefix")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"?{self.name}"
+
+
+TermLike = Union[IRI, Literal, BlankNode, Variable]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A concrete RDF triple (no variables allowed in any position)."""
+
+    subject: TermLike
+    predicate: TermLike
+    object: TermLike
+
+    def __post_init__(self) -> None:
+        if self.subject.is_variable or self.predicate.is_variable or self.object.is_variable:
+            raise TermError("a Triple must not contain variables; use sparql.TriplePattern instead")
+        if not isinstance(self.predicate, IRI):
+            raise TermError("the predicate of a triple must be an IRI")
+        if isinstance(self.subject, Literal):
+            raise TermError("the subject of a triple cannot be a literal")
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def as_tuple(self) -> tuple[TermLike, TermLike, TermLike]:
+        return (self.subject, self.predicate, self.object)
+
+    def __iter__(self) -> Iterator[TermLike]:
+        return iter(self.as_tuple())
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.n3()

@@ -1,0 +1,28 @@
+"""Relational store (MySQL stand-in): triple table, planner, executor, views, SQLite."""
+
+from repro.relstore.executor import RelationalExecutor, relational_work_units
+from repro.relstore.planner import PatternAccess, RelationalPlan, plan_query
+from repro.relstore.sql_compiler import CompiledSQL, compile_select
+from repro.relstore.sqlite_backend import SQLiteBackend
+from repro.relstore.stats import TableStatistics, collect_statistics
+from repro.relstore.store import RelationalStore
+from repro.relstore.table import TripleTable
+from repro.relstore.views import MaterializedView, MaterializedViewManager, canonical_pattern_key
+
+__all__ = [
+    "RelationalStore",
+    "TripleTable",
+    "RelationalExecutor",
+    "relational_work_units",
+    "RelationalPlan",
+    "PatternAccess",
+    "plan_query",
+    "TableStatistics",
+    "collect_statistics",
+    "MaterializedView",
+    "MaterializedViewManager",
+    "canonical_pattern_key",
+    "CompiledSQL",
+    "compile_select",
+    "SQLiteBackend",
+]

@@ -1,0 +1,107 @@
+"""Compilation of basic graph patterns into SQL over a triple table.
+
+The primary execution path of the relational store is the Python executor in
+:mod:`repro.relstore.executor` (it provides the deterministic work
+accounting), but the store can also persist its triple table to SQLite and
+answer the same queries through real SQL.  This module produces that SQL: a
+self-join per triple pattern, which is exactly the query shape the paper
+blames for the poor complex-query performance of relation-based stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import QueryExecutionError
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.ast import Filter, SelectQuery
+
+__all__ = ["CompiledSQL", "compile_select"]
+
+TRIPLE_TABLE_NAME = "triples"
+
+
+@dataclass(frozen=True)
+class CompiledSQL:
+    """SQL text plus its positional parameters and output column names."""
+
+    sql: str
+    parameters: Tuple[str, ...]
+    columns: Tuple[str, ...]
+
+
+def _term_sql_value(term) -> str:
+    """The string stored in the SQLite triple table for a concrete term."""
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, Literal):
+        return term.n3()
+    return str(term)
+
+
+def compile_select(query: SelectQuery) -> CompiledSQL:
+    """Compile a SELECT query to a self-join over the ``triples`` table.
+
+    Each triple pattern becomes one aliased occurrence ``t0, t1, ...`` of the
+    triple table; shared variables become equality predicates between
+    aliases; constants become parameterised equality predicates.
+    """
+    if any(not isinstance(p.predicate, (IRI, Variable)) for p in query.patterns):
+        raise QueryExecutionError("predicates must be IRIs or variables")
+
+    aliases = [f"t{i}" for i in range(len(query.patterns))]
+    where: List[str] = []
+    parameters: List[str] = []
+    # variable name -> first column expression that binds it
+    variable_columns: Dict[str, str] = {}
+
+    for alias, pattern in zip(aliases, query.patterns):
+        for column, term in (("s", pattern.subject), ("p", pattern.predicate), ("o", pattern.object)):
+            expression = f"{alias}.{column}"
+            if isinstance(term, Variable):
+                if term.name in variable_columns:
+                    where.append(f"{variable_columns[term.name]} = {expression}")
+                else:
+                    variable_columns[term.name] = expression
+            else:
+                where.append(f"{expression} = ?")
+                parameters.append(_term_sql_value(term))
+
+    for flt in query.filters:
+        clause, clause_params = _compile_filter(flt, variable_columns)
+        where.append(clause)
+        parameters.extend(clause_params)
+
+    columns = query.projected_names()
+    select_items = []
+    for name in columns:
+        column = variable_columns.get(name)
+        if column is None:
+            raise QueryExecutionError(f"projected variable ?{name} is not bound by the WHERE clause")
+        select_items.append(f"{column} AS {name}")
+
+    distinct = "DISTINCT " if query.distinct else ""
+    from_clause = ", ".join(f"{TRIPLE_TABLE_NAME} AS {alias}" for alias in aliases)
+    sql = f"SELECT {distinct}{', '.join(select_items)} FROM {from_clause}"
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    if query.limit is not None:
+        sql += f" LIMIT {query.limit}"
+    return CompiledSQL(sql=sql, parameters=tuple(parameters), columns=tuple(columns))
+
+
+def _compile_filter(flt: Filter, variable_columns: Dict[str, str]) -> Tuple[str, List[str]]:
+    parts: List[str] = []
+    parameters: List[str] = []
+    for term in (flt.left, flt.right):
+        if isinstance(term, Variable):
+            column = variable_columns.get(term.name)
+            if column is None:
+                raise QueryExecutionError(f"FILTER uses unbound variable ?{term.name}")
+            parts.append(column)
+        else:
+            parts.append("?")
+            parameters.append(_term_sql_value(term))
+    operator = "<>" if flt.operator == "!=" else flt.operator
+    return f"{parts[0]} {operator} {parts[1]}", parameters

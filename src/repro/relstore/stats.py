@@ -1,0 +1,119 @@
+"""Table statistics and cardinality estimation for the relational store.
+
+The planner uses these statistics to order joins and to decide between index
+lookups and partition scans; the tuner uses them to estimate the benefit of
+moving a partition without executing anything (``estimate_only`` mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.rdf.terms import IRI, Variable
+from repro.sparql.ast import SelectQuery, TriplePattern
+
+from repro.relstore.table import TripleTable
+
+__all__ = ["TableStatistics", "collect_statistics"]
+
+
+@dataclass(frozen=True)
+class PredicateStatistics:
+    """Per-predicate statistics used for selectivity estimation."""
+
+    cardinality: int
+    distinct_subjects: int
+    distinct_objects: int
+
+    @property
+    def avg_fanout(self) -> float:
+        """Average objects per subject (≥ 1 when the predicate exists)."""
+        if self.distinct_subjects == 0:
+            return 0.0
+        return self.cardinality / self.distinct_subjects
+
+    @property
+    def avg_fanin(self) -> float:
+        """Average subjects per object."""
+        if self.distinct_objects == 0:
+            return 0.0
+        return self.cardinality / self.distinct_objects
+
+
+@dataclass
+class TableStatistics:
+    """Statistics snapshot for a :class:`~repro.relstore.table.TripleTable`."""
+
+    total_rows: int
+    per_predicate: Dict[IRI, PredicateStatistics]
+
+    def predicate_cardinality(self, predicate: IRI) -> int:
+        stats = self.per_predicate.get(predicate)
+        return stats.cardinality if stats else 0
+
+    def cardinalities(self) -> Dict[IRI, int]:
+        return {p: s.cardinality for p, s in self.per_predicate.items()}
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def estimate_pattern_rows(self, pattern: TriplePattern) -> int:
+        """Estimated number of rows matching a single triple pattern."""
+        if isinstance(pattern.predicate, IRI):
+            stats = self.per_predicate.get(pattern.predicate)
+            if stats is None:
+                return 0
+            rows = stats.cardinality
+            if not isinstance(pattern.subject, Variable):
+                rows = max(1, int(round(stats.avg_fanout)))
+            if not isinstance(pattern.object, Variable):
+                rows = max(1, int(round(stats.avg_fanin)))
+            return rows
+        # Unbound predicate: every row is a candidate.
+        rows = self.total_rows
+        if not isinstance(pattern.subject, Variable) or not isinstance(pattern.object, Variable):
+            rows = max(1, rows // max(1, len(self.per_predicate)))
+        return rows
+
+    def estimate_query_work(self, query: SelectQuery) -> float:
+        """Rough relational work units (rows touched) for a whole query.
+
+        The estimate sums per-pattern scans and models each join as producing
+        the smaller side's cardinality scaled by a fan-out factor.  It is
+        deliberately simple — enough to rank plans and to let the tuner score
+        partitions without execution.
+        """
+        pattern_rows = [self.estimate_pattern_rows(p) for p in query.patterns]
+        if not pattern_rows:
+            return 0.0
+        scan_work = float(sum(pattern_rows))
+        ordered = sorted(pattern_rows)
+        intermediate = float(ordered[0])
+        join_work = 0.0
+        for rows in ordered[1:]:
+            intermediate = min(intermediate * 1.2, float(intermediate + rows))
+            join_work += intermediate
+        return scan_work + join_work
+
+
+def collect_statistics(table: TripleTable) -> TableStatistics:
+    """Compute fresh statistics by scanning the table's partition index."""
+    per_predicate: Dict[IRI, PredicateStatistics] = {}
+    for predicate in table.predicates():
+        predicate_id = table.dictionary.lookup(predicate)
+        if predicate_id is None:
+            continue
+        subjects = set()
+        objects = set()
+        cardinality = 0
+        for subject_id, _, object_id in table.scan_predicate(predicate_id):
+            cardinality += 1
+            subjects.add(subject_id)
+            objects.add(object_id)
+        per_predicate[predicate] = PredicateStatistics(
+            cardinality=cardinality,
+            distinct_subjects=len(subjects),
+            distinct_objects=len(objects),
+        )
+    return TableStatistics(total_rows=len(table), per_predicate=per_predicate)

@@ -1,0 +1,210 @@
+"""Relational store facade (the MySQL stand-in of the dual-store structure).
+
+The relational store holds the *entire* knowledge graph at all times.  It is
+cheap to update (plain row inserts) but its complex-query latency grows with
+the data size because every triple pattern turns into a partition scan that
+feeds a join pipeline.
+
+The facade wires together the triple table, statistics, planner, executor,
+optional materialized views, and the cost model that converts work counters
+into seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cost.counters import WorkCounters
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.errors import WorkBudgetExceeded
+from repro.execution import ExecutionResult, ResultTable
+from repro.rdf.graph import TripleSet
+from repro.rdf.terms import IRI, Triple
+from repro.sparql.ast import SelectQuery, TriplePattern
+
+from repro.relstore.executor import RelationalExecutor, relational_work_units
+from repro.relstore.planner import RelationalPlan, plan_query
+from repro.relstore.stats import TableStatistics, collect_statistics
+from repro.relstore.table import TripleTable
+from repro.relstore.views import MaterializedView, MaterializedViewManager
+
+__all__ = ["RelationalStore", "relational_work_units"]
+
+
+class RelationalStore:
+    """A work-accounted relational triple store.
+
+    Parameters
+    ----------
+    cost_model:
+        Converts work counters into latency seconds on every execution.
+    view_row_budget:
+        When given, a :class:`MaterializedViewManager` is attached with that
+        row budget (used by the RDB-views baseline).
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        view_row_budget: Optional[int] = None,
+    ):
+        self.cost_model = cost_model
+        self.table = TripleTable()
+        self._executor = RelationalExecutor(self.table)
+        self._statistics: Optional[TableStatistics] = None
+        self.view_manager: Optional[MaterializedViewManager] = (
+            MaterializedViewManager(row_budget=view_row_budget) if view_row_budget is not None else None
+        )
+        self.total_insert_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Loading and updates
+    # ------------------------------------------------------------------ #
+    def load(self, triples: Iterable[Triple] | TripleSet) -> float:
+        """Bulk-load triples; returns the modelled insert latency."""
+        inserted = self.table.insert_all(triples)
+        self._statistics = None
+        seconds = self.cost_model.relational_insert_seconds(inserted)
+        self.total_insert_seconds += seconds
+        return seconds
+
+    def insert(self, triples: Iterable[Triple]) -> float:
+        """Insert new knowledge (the cheap-update property of the store)."""
+        return self.load(triples)
+
+    def delete(self, triple: Triple) -> bool:
+        removed = self.table.delete(triple)
+        if removed:
+            self._statistics = None
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    # ------------------------------------------------------------------ #
+    # Metadata
+    # ------------------------------------------------------------------ #
+    def predicates(self) -> List[IRI]:
+        return self.table.predicates()
+
+    def partition(self, predicate: IRI) -> List[Triple]:
+        """The triple partition for ``predicate`` (what gets shipped to the graph store)."""
+        return self.table.partition(predicate)
+
+    def partition_size(self, predicate: IRI) -> int:
+        return self.table.predicate_cardinality(predicate)
+
+    def partition_sizes(self) -> Dict[IRI, int]:
+        return self.table.cardinalities()
+
+    def statistics(self) -> TableStatistics:
+        """Current table statistics (recomputed lazily after mutations)."""
+        if self._statistics is None:
+            self._statistics = collect_statistics(self.table)
+        return self._statistics
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def plan(self, query: SelectQuery, pattern_order: Sequence[TriplePattern] | None = None) -> RelationalPlan:
+        return plan_query(query, self.statistics(), pattern_order=pattern_order)
+
+    def execute(
+        self,
+        query: SelectQuery,
+        work_budget: Optional[float] = None,
+        extra_tables: Optional[Iterable[ResultTable]] = None,
+        tables_are_views: bool = False,
+        pattern_order: Sequence[TriplePattern] | None = None,
+    ) -> ExecutionResult:
+        """Execute a query entirely in the relational store.
+
+        Raises
+        ------
+        WorkBudgetExceeded
+            When ``work_budget`` (in relational work units) is exhausted; the
+            exception carries the partial work so the caller can price it.
+        """
+        plan = self.plan(query, pattern_order=pattern_order)
+        result = self._executor.execute(
+            query,
+            plan,
+            work_budget=work_budget,
+            extra_tables=extra_tables,
+            tables_are_views=tables_are_views,
+        )
+        result.seconds = self.cost_model.relational_query_seconds(result.counters)
+        result.store = "relational"
+        return result
+
+    def execute_capped(
+        self,
+        query: SelectQuery,
+        work_budget: float,
+    ) -> tuple[Optional[ExecutionResult], float]:
+        """Run with a cap; return ``(result_or_None, seconds)``.
+
+        On budget exhaustion the result is ``None`` and the returned seconds
+        are the price of the work done so far — this is the counterfactual
+        thread that the paper stops once it has run for ``λ·c₁``.
+        """
+        try:
+            result = self.execute(query, work_budget=work_budget)
+            return result, result.seconds
+        except WorkBudgetExceeded as exc:
+            partial = WorkCounters(rows_scanned=int(exc.partial_work), queries_issued=1)
+            return None, self.cost_model.relational_query_seconds(partial)
+
+    def execute_with_view(self, query: SelectQuery, view: MaterializedView) -> ExecutionResult:
+        """Answer ``query`` using a materialized view for part of its pattern.
+
+        The view's defining patterns are removed from the WHERE clause and the
+        view rows are joined back in as a temporary table (charged as view
+        rows).  Patterns not covered by the view run against the base table.
+        """
+        covered = set(view.patterns)
+        remaining = [p for p in query.patterns if p not in covered]
+        if remaining:
+            residual = query.with_patterns(remaining, projection=query.projection)
+        else:
+            # Everything is covered: keep one pattern-free shell by projecting
+            # straight from the view rows.
+            residual = None
+
+        if residual is None:
+            counters = WorkCounters(view_rows_scanned=len(view.table), queries_issued=1)
+            names = query.projected_names()
+            bindings = [
+                {name: binding[name] for name in names if name in binding}
+                for binding in view.table.to_bindings()
+            ]
+            if query.distinct:
+                seen = set()
+                unique = []
+                for binding in bindings:
+                    key = tuple(binding.get(name) for name in names)
+                    if key not in seen:
+                        seen.add(key)
+                        unique.append(binding)
+                bindings = unique
+            counters.results_produced = len(bindings)
+            result = ExecutionResult(bindings=bindings, variables=tuple(names), counters=counters)
+        else:
+            result = self._executor.execute(
+                residual,
+                self.plan(residual),
+                extra_tables=[view.table],
+                tables_are_views=True,
+            )
+        result.seconds = self.cost_model.relational_query_seconds(result.counters)
+        result.store = "relational"
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Estimation (no execution)
+    # ------------------------------------------------------------------ #
+    def estimate_query_seconds(self, query: SelectQuery) -> float:
+        """Price a query from statistics only (used by the ideal/one-off tuners)."""
+        work = self.statistics().estimate_query_work(query)
+        counters = WorkCounters(rows_scanned=int(work), queries_issued=1)
+        return self.cost_model.relational_query_seconds(counters)

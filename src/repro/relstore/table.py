@@ -1,0 +1,187 @@
+"""The relational triple table and its secondary indexes.
+
+The relational store keeps the *entire* knowledge graph in a single
+dictionary-encoded triple table (the classic ``(subject, predicate, object)``
+layout the paper describes as the most commonly used relational layout),
+plus secondary indexes:
+
+* predicate → row ids (the per-partition index used for partition extraction
+  and predicate-bound scans),
+* (predicate, subject) → row ids,
+* (predicate, object) → row ids.
+
+Rows are identified by dense integer row ids; deletions leave tombstones so
+row ids stay stable (the store compacts on demand).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import StorageError
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.terms import IRI, Triple
+
+__all__ = ["TripleTable", "Row"]
+
+#: One stored row: (subject_id, predicate_id, object_id)
+Row = Tuple[int, int, int]
+
+
+class TripleTable:
+    """A dictionary-encoded triple table with secondary indexes."""
+
+    def __init__(self, dictionary: TermDictionary | None = None):
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        self._rows: List[Optional[Row]] = []
+        self._row_set: Set[Row] = set()
+        self._by_predicate: Dict[int, List[int]] = defaultdict(list)
+        self._by_predicate_subject: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._by_predicate_object: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------ #
+    # Loading and mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, triple: Triple) -> bool:
+        """Insert a triple; return ``True`` when it was new."""
+        row = self.dictionary.encode_triple(triple)
+        if row in self._row_set:
+            return False
+        row_id = len(self._rows)
+        self._rows.append(row)
+        self._row_set.add(row)
+        subject_id, predicate_id, object_id = row
+        self._by_predicate[predicate_id].append(row_id)
+        self._by_predicate_subject[(predicate_id, subject_id)].append(row_id)
+        self._by_predicate_object[(predicate_id, object_id)].append(row_id)
+        return True
+
+    def insert_all(self, triples: Iterable[Triple]) -> int:
+        return sum(1 for triple in triples if self.insert(triple))
+
+    def delete(self, triple: Triple) -> bool:
+        """Delete a triple; return ``True`` when it was present."""
+        subject_id = self.dictionary.lookup(triple.subject)
+        predicate_id = self.dictionary.lookup(triple.predicate)
+        object_id = self.dictionary.lookup(triple.object)
+        if subject_id is None or predicate_id is None or object_id is None:
+            return False
+        row = (subject_id, predicate_id, object_id)
+        if row not in self._row_set:
+            return False
+        self._row_set.remove(row)
+        # Tombstone the slot; index entries are filtered lazily on read.
+        for row_id in self._by_predicate[predicate_id]:
+            if self._rows[row_id] == row:
+                self._rows[row_id] = None
+                self._tombstones += 1
+                break
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Size and statistics
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._row_set)
+
+    @property
+    def tombstone_count(self) -> int:
+        return self._tombstones
+
+    def predicates(self) -> List[IRI]:
+        """All predicates present, decoded, sorted by IRI value."""
+        out: List[IRI] = []
+        for predicate_id, row_ids in self._by_predicate.items():
+            if any(self._rows[r] is not None for r in row_ids):
+                term = self.dictionary.decode(predicate_id)
+                if isinstance(term, IRI):
+                    out.append(term)
+        return sorted(out, key=lambda p: p.value)
+
+    def predicate_cardinality(self, predicate: IRI) -> int:
+        predicate_id = self.dictionary.lookup(predicate)
+        if predicate_id is None:
+            return 0
+        return sum(1 for r in self._by_predicate[predicate_id] if self._rows[r] is not None)
+
+    def cardinalities(self) -> Dict[IRI, int]:
+        return {p: self.predicate_cardinality(p) for p in self.predicates()}
+
+    # ------------------------------------------------------------------ #
+    # Access paths (the physical operators call these)
+    # ------------------------------------------------------------------ #
+    def scan(self) -> Iterator[Row]:
+        """Full table scan over live rows."""
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def scan_predicate(self, predicate_id: int) -> Iterator[Row]:
+        """Index range scan over one predicate partition."""
+        for row_id in self._by_predicate.get(predicate_id, ()):
+            row = self._rows[row_id]
+            if row is not None:
+                yield row
+
+    def lookup_subject(self, predicate_id: int, subject_id: int) -> Iterator[Row]:
+        """Point lookup on the (predicate, subject) index."""
+        for row_id in self._by_predicate_subject.get((predicate_id, subject_id), ()):
+            row = self._rows[row_id]
+            if row is not None:
+                yield row
+
+    def lookup_object(self, predicate_id: int, object_id: int) -> Iterator[Row]:
+        """Point lookup on the (predicate, object) index."""
+        for row_id in self._by_predicate_object.get((predicate_id, object_id), ()):
+            row = self._rows[row_id]
+            if row is not None:
+                yield row
+
+    def contains(self, triple: Triple) -> bool:
+        subject_id = self.dictionary.lookup(triple.subject)
+        predicate_id = self.dictionary.lookup(triple.predicate)
+        object_id = self.dictionary.lookup(triple.object)
+        if subject_id is None or predicate_id is None or object_id is None:
+            return False
+        return (subject_id, predicate_id, object_id) in self._row_set
+
+    # ------------------------------------------------------------------ #
+    # Partition extraction (data shipped to the graph store)
+    # ------------------------------------------------------------------ #
+    def partition(self, predicate: IRI) -> List[Triple]:
+        """Decode every live triple of one predicate."""
+        predicate_id = self.dictionary.lookup(predicate)
+        if predicate_id is None:
+            return []
+        return [self.dictionary.decode_triple(row) for row in self.scan_predicate(predicate_id)]
+
+    def compact(self) -> int:
+        """Rebuild the table without tombstones; return rows reclaimed."""
+        if self._tombstones == 0:
+            return 0
+        live = [row for row in self._rows if row is not None]
+        reclaimed = self._tombstones
+        self._rows = []
+        self._row_set = set()
+        self._by_predicate = defaultdict(list)
+        self._by_predicate_subject = defaultdict(list)
+        self._by_predicate_object = defaultdict(list)
+        self._tombstones = 0
+        for row in live:
+            row_id = len(self._rows)
+            self._rows.append(row)
+            self._row_set.add(row)
+            subject_id, predicate_id, object_id = row
+            self._by_predicate[predicate_id].append(row_id)
+            self._by_predicate_subject[(predicate_id, subject_id)].append(row_id)
+            self._by_predicate_object[(predicate_id, object_id)].append(row_id)
+        return reclaimed
+
+    def require_term_id(self, term) -> int:
+        """Encode a concrete term, failing loudly if it was never stored."""
+        term_id = self.dictionary.lookup(term)
+        if term_id is None:
+            raise StorageError(f"term {term!r} does not occur in the relational store")
+        return term_id

@@ -1,0 +1,36 @@
+"""SPARQL subset: tokenizer, parser, AST, and basic-graph-pattern algebra."""
+
+from repro.sparql.algebra import (
+    connected_components,
+    is_connected,
+    join_variables,
+    merge_bindings,
+    order_patterns_greedily,
+    pattern_join_graph,
+    pattern_selectivity_key,
+    query_shape,
+    shared_variables,
+)
+from repro.sparql.ast import Binding, Filter, SelectQuery, TriplePattern
+from repro.sparql.parser import QueryParser, parse_query
+from repro.sparql.tokenizer import Token, tokenize
+
+__all__ = [
+    "Binding",
+    "Filter",
+    "SelectQuery",
+    "TriplePattern",
+    "QueryParser",
+    "parse_query",
+    "Token",
+    "tokenize",
+    "join_variables",
+    "pattern_join_graph",
+    "connected_components",
+    "is_connected",
+    "shared_variables",
+    "merge_bindings",
+    "pattern_selectivity_key",
+    "order_patterns_greedily",
+    "query_shape",
+]

@@ -1,0 +1,193 @@
+"""Algebra helpers over basic graph patterns.
+
+These utilities analyse the structure of a query independent of any store:
+which variables join which patterns, whether the pattern graph is connected,
+and how patterns can be grouped into connected components.  The complex
+subquery identifier, both query planners, and the view manager all build on
+them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.ast import Binding, SelectQuery, TriplePattern
+
+__all__ = [
+    "join_variables",
+    "pattern_join_graph",
+    "connected_components",
+    "is_connected",
+    "shared_variables",
+    "merge_bindings",
+    "pattern_selectivity_key",
+    "order_patterns_greedily",
+    "query_shape",
+]
+
+
+def join_variables(patterns: Sequence[TriplePattern]) -> Set[str]:
+    """Variables that occur in more than one pattern (the join variables)."""
+    counts: Dict[str, int] = defaultdict(int)
+    for pattern in patterns:
+        for name in pattern.variable_names():
+            counts[name] += 1
+    return {name for name, count in counts.items() if count > 1}
+
+
+def pattern_join_graph(patterns: Sequence[TriplePattern]) -> Dict[int, Set[int]]:
+    """Adjacency between pattern indexes that share at least one variable."""
+    var_to_patterns: Dict[str, List[int]] = defaultdict(list)
+    for index, pattern in enumerate(patterns):
+        for name in pattern.variable_names():
+            var_to_patterns[name].append(index)
+    adjacency: Dict[int, Set[int]] = {index: set() for index in range(len(patterns))}
+    for indexes in var_to_patterns.values():
+        for i in indexes:
+            for j in indexes:
+                if i != j:
+                    adjacency[i].add(j)
+    return adjacency
+
+
+def connected_components(patterns: Sequence[TriplePattern]) -> List[List[int]]:
+    """Group pattern indexes into variable-connected components."""
+    adjacency = pattern_join_graph(patterns)
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in range(len(patterns)):
+        if start in seen:
+            continue
+        component: List[int] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(patterns: Sequence[TriplePattern]) -> bool:
+    """True when every pattern is reachable from every other via shared variables."""
+    if not patterns:
+        return True
+    return len(connected_components(patterns)) == 1
+
+
+def shared_variables(
+    left: Iterable[TriplePattern], right: Iterable[TriplePattern]
+) -> FrozenSet[str]:
+    """Variables that appear on both sides; the join attributes of a split plan."""
+    left_names: Set[str] = set()
+    for pattern in left:
+        left_names.update(pattern.variable_names())
+    right_names: Set[str] = set()
+    for pattern in right:
+        right_names.update(pattern.variable_names())
+    return frozenset(left_names & right_names)
+
+
+def merge_bindings(left: Binding, right: Binding) -> Binding | None:
+    """Merge two solution mappings; return ``None`` when they conflict."""
+    merged = dict(left)
+    for name, term in right.items():
+        existing = merged.get(name)
+        if existing is not None and existing != term:
+            return None
+        merged[name] = term
+    return merged
+
+
+def pattern_selectivity_key(pattern: TriplePattern) -> Tuple[int, int]:
+    """A heuristic ordering key: more concrete positions first.
+
+    Patterns with constants (especially a constant subject or object) are
+    likely to be more selective, so evaluating them first shrinks the
+    intermediate result.  The key is ``(-bound_positions, -has_literal)``.
+    """
+    bound = sum(
+        1
+        for term in (pattern.subject, pattern.predicate, pattern.object)
+        if not isinstance(term, Variable)
+    )
+    has_literal = int(isinstance(pattern.object, Literal) or isinstance(pattern.subject, Literal))
+    return (-bound, -has_literal)
+
+
+def order_patterns_greedily(
+    patterns: Sequence[TriplePattern],
+    cardinality: Dict[IRI, int] | None = None,
+) -> List[TriplePattern]:
+    """Order patterns so each one (after the first) joins with prior ones.
+
+    The first pattern is the one with the best selectivity key (optionally
+    refined by per-predicate cardinalities); each subsequent pattern is the
+    connected pattern with the best key.  Disconnected patterns are appended
+    at the end in key order (they form a cartesian product regardless of
+    order, so the ordering only needs to be deterministic).
+    """
+
+    def key(pattern: TriplePattern) -> Tuple:
+        base = pattern_selectivity_key(pattern)
+        if cardinality is not None and isinstance(pattern.predicate, IRI):
+            return (*base, cardinality.get(pattern.predicate, 1 << 30), pattern.n3())
+        return (*base, 0, pattern.n3())
+
+    remaining = list(patterns)
+    if not remaining:
+        return []
+    ordered: List[TriplePattern] = []
+    bound_vars: Set[str] = set()
+
+    first = min(remaining, key=key)
+    ordered.append(first)
+    remaining.remove(first)
+    bound_vars.update(first.variable_names())
+
+    while remaining:
+        connected = [p for p in remaining if p.variable_names() & bound_vars]
+        candidates = connected if connected else remaining
+        chosen = min(candidates, key=key)
+        ordered.append(chosen)
+        remaining.remove(chosen)
+        bound_vars.update(chosen.variable_names())
+    return ordered
+
+
+def query_shape(query: SelectQuery) -> str:
+    """Classify a query as ``linear``, ``star``, ``snowflake``, or ``complex``.
+
+    The classification mirrors the WatDiv template families used in the
+    paper's evaluation:
+
+    * ``star`` — every pattern shares one central join variable.
+    * ``linear`` — patterns form a path (each join variable links exactly two
+      patterns and no pattern has more than two join variables).
+    * ``snowflake`` — a small number of star centres connected to each other.
+    * ``complex`` — anything else (cycles, many hubs, ...).
+    """
+    patterns = query.patterns
+    if len(patterns) <= 1:
+        return "linear"
+    occurrences = query.variable_occurrences()
+    join_vars = {name for name, count in occurrences.items() if count > 1}
+    if not join_vars:
+        return "complex"  # disconnected product
+    if len(join_vars) == 1 and occurrences[next(iter(join_vars))] == len(patterns):
+        return "star"
+
+    # Count how many patterns each join variable touches.
+    hub_vars = [name for name in join_vars if occurrences[name] >= 3]
+    if not hub_vars:
+        # every join variable links exactly two patterns -> path or cycle
+        return "linear" if len(join_vars) == len(patterns) - 1 else "complex"
+    if len(hub_vars) <= 2 and is_connected(patterns):
+        return "snowflake"
+    return "complex"

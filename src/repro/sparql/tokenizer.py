@@ -1,0 +1,112 @@
+"""Tokenizer for the SPARQL subset accepted by :mod:`repro.sparql.parser`.
+
+The tokenizer converts query text into a flat list of typed tokens with
+line/column positions so the parser can report precise errors.  Supported
+lexical forms: keywords, variables (``?x`` / ``$x``), IRIs in angle brackets,
+prefixed names (``y:wasBornIn``), string literals with optional language tag
+or datatype, numbers, booleans, punctuation, and comparison operators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "WHERE",
+    "FILTER",
+    "LIMIT",
+    "PREFIX",
+    "ASK",
+    "OPTIONAL",
+    "UNION",
+    "ORDER",
+    "BY",
+    "A",
+}
+
+_TOKEN_SPEC = [
+    ("WHITESPACE", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("IRI", r"<[^<>\s]*>"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("LANGTAG", r"@[a-zA-Z][a-zA-Z0-9-]*"),
+    ("DOUBLE_CARET", r"\^\^"),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z0-9_]*"),
+    ("NUMBER", r"[+-]?\d+(?:\.\d+)?"),
+    ("PNAME", r"[A-Za-z_][A-Za-z0-9_.-]*:[A-Za-z_][A-Za-z0-9_.-]*"),
+    ("KEYWORD_OR_NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("OP", r"!=|<=|>=|=|<|>"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("DOT", r"\."),
+    ("COLON", r":"),
+    ("SEMICOLON", r";"),
+    ("COMMA", r","),
+    ("STAR", r"\*"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, keyword: str) -> bool:
+        return self.type == "KEYWORD" and self.value.upper() == keyword.upper()
+
+
+def _iter_tokens(text: str) -> Iterator[Token]:
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _MASTER_RE.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(f"unexpected character {text[position]!r}", line=line, column=column)
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = position - line_start + 1
+        if kind in ("WHITESPACE", "COMMENT"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + value.rfind("\n") + 1
+        elif kind == "KEYWORD_OR_NAME":
+            token_type = "KEYWORD" if value.upper() in KEYWORDS else "NAME"
+            yield Token(token_type, value, line, column)
+        elif kind == "IRI":
+            yield Token("IRI", value[1:-1], line, column)
+        elif kind == "VAR":
+            yield Token("VAR", value[1:], line, column)
+        else:
+            yield Token(kind, value, line, column)
+        position = match.end()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list of :class:`Token` objects.
+
+    Raises
+    ------
+    ParseError
+        If an unrecognised character is encountered.
+    """
+    return list(_iter_tokens(text))

@@ -1,0 +1,36 @@
+"""Synthetic datasets (YAGO/WatDiv/Bio2RDF stand-ins), templates, and workloads."""
+
+from repro.workload.bio2rdf import Bio2RDFDataset, bio2rdf_templates, bio2rdf_workload, generate_bio2rdf
+from repro.workload.generator import SyntheticGraphBuilder, zipf_weights
+from repro.workload.templates import QueryTemplate, Workload, WorkloadQuery, split_batches
+from repro.workload.watdiv import (
+    WATDIV_FAMILY_SIZES,
+    WatDivDataset,
+    generate_watdiv,
+    watdiv_templates,
+    watdiv_workload,
+)
+from repro.workload.yago import YAGO_PREDICATES, YagoDataset, generate_yago, yago_templates, yago_workload
+
+__all__ = [
+    "SyntheticGraphBuilder",
+    "zipf_weights",
+    "QueryTemplate",
+    "Workload",
+    "WorkloadQuery",
+    "split_batches",
+    "YagoDataset",
+    "generate_yago",
+    "yago_templates",
+    "yago_workload",
+    "YAGO_PREDICATES",
+    "WatDivDataset",
+    "generate_watdiv",
+    "watdiv_templates",
+    "watdiv_workload",
+    "WATDIV_FAMILY_SIZES",
+    "Bio2RDFDataset",
+    "generate_bio2rdf",
+    "bio2rdf_templates",
+    "bio2rdf_workload",
+]

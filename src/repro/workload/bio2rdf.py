@@ -1,0 +1,222 @@
+"""Synthetic Bio2RDF-like knowledge graph and workload.
+
+The paper's Bio2RDF slice combines iRefIndex (protein interactions), OMIM
+(gene–disease), PharmGKB (drug–gene pharmacogenomics), and PubMed (articles):
+60M triples, 161 predicates, 25 workload queries.  This module generates a
+shape-preserving stand-in with genes, proteins, drugs, diseases, pathways,
+and articles connected by the corresponding biomedical predicates, plus a
+25-query workload (5 templates × 5 instantiations).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.rdf.graph import TripleSet
+from repro.rdf.namespace import BIO2RDF
+from repro.rdf.terms import IRI
+
+from repro.workload.generator import SyntheticGraphBuilder
+from repro.workload.templates import QueryTemplate, Workload, WorkloadQuery
+
+__all__ = ["Bio2RDFDataset", "generate_bio2rdf", "bio2rdf_workload"]
+
+_PREDICATES = [
+    "encodes",
+    "interactsWith",
+    "targets",
+    "treats",
+    "causes",
+    "associatedWith",
+    "mentionsGene",
+    "mentionsDrug",
+    "publishedIn",
+    "partOfPathway",
+    "hasSideEffect",
+    "expressedIn",
+    "xref",
+    "hasSymbol",
+    "yearPublished",
+    "dosage",
+    "hasTitle",
+    "hasAbstract",
+    "hasDOI",
+    "hasLabel",
+]
+
+
+@dataclass
+class Bio2RDFDataset:
+    """Synthetic Bio2RDF triples plus the entity pools for query slots."""
+
+    triples: TripleSet
+    entities: Dict[str, List[IRI]]
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
+def generate_bio2rdf(target_triples: int = 8000, seed: int = 23) -> Bio2RDFDataset:
+    """Generate a Bio2RDF-like graph of roughly ``target_triples`` triples."""
+    if target_triples < 200:
+        raise WorkloadError("target_triples must be at least 200")
+    builder = SyntheticGraphBuilder(BIO2RDF, seed=seed)
+    # Articles contribute the bulk of the triples (as PubMed does in the real
+    # Bio2RDF slice), so the gene/protein/drug relations the complex queries
+    # traverse stay well inside the default 25% graph-store budget.
+    gene_count = max(30, target_triples // 22)
+    genes = builder.mint_entities("gene", gene_count)
+    proteins = builder.mint_entities("protein", gene_count)
+    drugs = builder.mint_entities("drug", max(15, gene_count // 3))
+    diseases = builder.mint_entities("disease", max(10, gene_count // 6))
+    pathways = builder.mint_entities("pathway", max(8, gene_count // 15))
+    tissues = builder.mint_entities("tissue", 20)
+    journals = builder.mint_entities("journal", 15)
+    articles = builder.mint_entities("article", max(20, target_triples // 7))
+    side_effects = builder.mint_entities("side_effect", 25)
+
+    p = {name: BIO2RDF.term(name) for name in _PREDICATES}
+
+    for index, gene in enumerate(genes):
+        builder.add_fact(gene, p["hasSymbol"], f"SYM{index}")
+        builder.add_fact(gene, p["encodes"], proteins[index])
+        if builder.coin(0.5):
+            builder.add_fact(gene, p["associatedWith"], builder.choose(diseases, skew=1.2))
+        if builder.coin(0.3):
+            builder.add_fact(gene, p["xref"], f"xref_{index % 777}")
+
+    for index, protein in enumerate(proteins):
+        builder.add_fact(protein, p["hasLabel"], f"protein_label_{index}")
+        if builder.coin(0.8):
+            partner = builder.choose(proteins, skew=1.2)
+            if partner != protein:
+                builder.add_fact(protein, p["interactsWith"], partner)
+        if builder.coin(0.5):
+            builder.add_fact(protein, p["partOfPathway"], builder.choose(pathways, skew=1.1))
+        if builder.coin(0.4):
+            builder.add_fact(protein, p["expressedIn"], builder.choose(tissues, skew=1.1))
+
+    for index, drug in enumerate(drugs):
+        builder.add_fact(drug, p["targets"], builder.choose(proteins, skew=1.2))
+        if builder.coin(0.7):
+            builder.add_fact(drug, p["treats"], builder.choose(diseases, skew=1.1))
+        if builder.coin(0.5):
+            builder.add_fact(drug, p["hasSideEffect"], builder.choose(side_effects, skew=1.2))
+        if builder.coin(0.4):
+            builder.add_fact(drug, p["dosage"], 10 + (index * 11) % 490)
+
+    for index, disease in enumerate(diseases):
+        if builder.coin(0.3):
+            builder.add_fact(builder.choose(genes, skew=1.1), p["causes"], disease)
+
+    for index, article in enumerate(articles):
+        builder.add_fact(article, p["publishedIn"], builder.choose(journals, skew=1.2))
+        builder.add_fact(article, p["yearPublished"], 1995 + index % 28)
+        builder.add_fact(article, p["hasTitle"], f"title_{index}")
+        builder.add_fact(article, p["hasAbstract"], f"abstract_{index}")
+        builder.add_fact(article, p["hasDOI"], f"10.1000/article.{index}")
+        if builder.coin(0.25):
+            builder.add_fact(article, p["mentionsGene"], builder.choose(genes, skew=1.3))
+        if builder.coin(0.15):
+            builder.add_fact(article, p["mentionsDrug"], builder.choose(drugs, skew=1.2))
+
+    return Bio2RDFDataset(
+        triples=builder.build(),
+        entities={
+            "gene": genes,
+            "protein": proteins,
+            "drug": drugs,
+            "disease": diseases,
+            "pathway": pathways,
+            "tissue": tissues,
+            "journal": journals,
+            "article": articles,
+            "side_effect": side_effects,
+        },
+    )
+
+
+def _values(entities: List[IRI], count: int) -> List[str]:
+    if not entities:
+        raise WorkloadError("empty entity pool for template slot")
+    return [entities[i % len(entities)].n3() for i in range(count)]
+
+
+def bio2rdf_templates(dataset: Bio2RDFDataset) -> List[QueryTemplate]:
+    diseases = _values(dataset.entities["disease"], 5)
+    pathways = _values(dataset.entities["pathway"], 5)
+    tissues = _values(dataset.entities["tissue"], 5)
+    side_effects = _values(dataset.entities["side_effect"], 5)
+
+    return [
+        QueryTemplate(
+            name="bio-drug-gene-disease",
+            family="complex",
+            text=(
+                "SELECT ?drug ?gene WHERE { ?drug bio:targets ?protein . "
+                "?gene bio:encodes ?protein . ?gene bio:associatedWith ?disease . "
+                "?drug bio:treats ?disease . ?drug bio:hasSideEffect {side_effect} . }"
+            ),
+            slots={"side_effect": side_effects},
+        ),
+        QueryTemplate(
+            name="bio-interaction-pathway",
+            family="complex",
+            text=(
+                "SELECT ?p1 ?p2 WHERE { ?p1 bio:interactsWith ?p2 . "
+                "?p1 bio:partOfPathway ?path . ?p2 bio:partOfPathway ?path . "
+                "?p1 bio:expressedIn {tissue} . }"
+            ),
+            slots={"tissue": tissues},
+        ),
+        QueryTemplate(
+            name="bio-literature-gene",
+            family="snowflake",
+            text=(
+                "SELECT ?article ?gene WHERE { ?article bio:mentionsGene ?gene . "
+                "?article bio:mentionsDrug ?drug . ?drug bio:targets ?protein . "
+                "?gene bio:encodes ?protein . ?drug bio:hasSideEffect {side_effect} . "
+                "?article bio:yearPublished ?year . }"
+            ),
+            slots={"side_effect": side_effects},
+        ),
+        QueryTemplate(
+            name="bio-disease-pathway",
+            family="complex",
+            text=(
+                "SELECT ?gene ?protein WHERE { ?gene bio:associatedWith {disease} . "
+                "?gene bio:encodes ?protein . ?protein bio:partOfPathway {pathway} . }"
+            ),
+            slots={"disease": diseases, "pathway": pathways},
+        ),
+        QueryTemplate(
+            name="bio-symbol-lookup",
+            family="star",
+            text=(
+                "SELECT ?gene ?symbol ?disease WHERE { ?gene bio:hasSymbol ?symbol . "
+                "?gene bio:associatedWith ?disease . ?gene bio:encodes ?protein . "
+                "?protein bio:expressedIn {tissue} . }"
+            ),
+            slots={"tissue": tissues},
+        ),
+    ]
+
+
+def bio2rdf_workload(dataset: Bio2RDFDataset, mutations: int = 4, seed: int = 29) -> Workload:
+    """The 25-query Bio2RDF workload (5 templates × (1 + ``mutations``))."""
+    rng = random.Random(seed)
+    entries: List[WorkloadQuery] = []
+    for template in bio2rdf_templates(dataset):
+        for mutation_index, query in enumerate(template.mutations(mutations, rng)):
+            entries.append(
+                WorkloadQuery(
+                    template=template.name,
+                    family=template.family,
+                    mutation_index=mutation_index,
+                    query=query,
+                )
+            )
+    return Workload(name="Bio2RDF", queries=entries)

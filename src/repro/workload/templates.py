@@ -1,0 +1,162 @@
+"""Query templates, mutations, and workload assembly.
+
+The paper builds every workload from *query templates* plus four *mutations*
+per template; workloads come in an *ordered* version (a template and its
+mutations are clustered) and a *random* version (all queries shuffled), and
+are processed in batches of one fifth of the workload (Section 6.1).
+
+A :class:`QueryTemplate` holds the template SPARQL text with ``{placeholder}``
+slots; mutations substitute different constants into the slots (and may tweak
+the projection), which keeps the *complex* part of the query stable across
+mutations while varying the selective, simple part — the property that makes
+materialized views occasionally useful and partition-level tuning robust.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import WorkloadError
+from repro.sparql.ast import SelectQuery
+from repro.sparql.parser import parse_query
+
+__all__ = ["QueryTemplate", "WorkloadQuery", "Workload"]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A parameterised SPARQL template.
+
+    Attributes
+    ----------
+    name:
+        Template identifier, e.g. ``"yago-advisor-birthplace"``.
+    family:
+        Query-shape family (``"linear"``, ``"star"``, ``"snowflake"``,
+        ``"complex"``, or a dataset-specific tag).
+    text:
+        SPARQL text with ``{slot}`` placeholders.
+    slots:
+        For every placeholder, the list of values mutations may choose from.
+    """
+
+    name: str
+    family: str
+    text: str
+    slots: Dict[str, Sequence[str]] = field(default_factory=dict)
+
+    def instantiate(self, values: Dict[str, str] | None = None) -> SelectQuery:
+        """Parse the template with the given (or default) slot values."""
+        bindings = {slot: choices[0] for slot, choices in self.slots.items()}
+        if values:
+            unknown = set(values) - set(self.slots)
+            if unknown:
+                raise WorkloadError(f"unknown template slots: {sorted(unknown)}")
+            bindings.update(values)
+        # Plain token replacement (not str.format) because SPARQL's own braces
+        # would otherwise need escaping in every template.
+        text = self.text
+        for slot, value in bindings.items():
+            text = text.replace("{" + slot + "}", value)
+        return parse_query(text)
+
+    def mutations(self, count: int, rng: random.Random) -> List[SelectQuery]:
+        """The original instantiation plus ``count`` mutated instantiations."""
+        queries = [self.instantiate()]
+        for _ in range(count):
+            values = {
+                slot: choices[rng.randrange(len(choices))]
+                for slot, choices in self.slots.items()
+                if len(choices) > 1
+            }
+            queries.append(self.instantiate(values))
+        return queries
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload entry: the query plus its provenance."""
+
+    template: str
+    family: str
+    mutation_index: int
+    query: SelectQuery
+
+
+@dataclass
+class Workload:
+    """A named list of workload queries with ordered/random/batch views."""
+
+    name: str
+    queries: List[WorkloadQuery]
+    batch_count: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise WorkloadError(f"workload {self.name!r} has no queries")
+        if self.batch_count < 1:
+            raise WorkloadError("batch_count must be at least 1")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    # ------------------------------------------------------------------ #
+    # Ordered and random versions
+    # ------------------------------------------------------------------ #
+    def ordered(self) -> List[SelectQuery]:
+        """Template-and-mutations clustered order (the generation order)."""
+        return [entry.query for entry in self.queries]
+
+    def randomized(self, seed: int = 11) -> List[SelectQuery]:
+        """All queries shuffled deterministically by ``seed``."""
+        shuffled = list(self.queries)
+        random.Random(seed).shuffle(shuffled)
+        return [entry.query for entry in shuffled]
+
+    # ------------------------------------------------------------------ #
+    # Batching (one fifth of the workload per batch by default)
+    # ------------------------------------------------------------------ #
+    def batches(self, order: str = "ordered", seed: int = 11) -> List[List[SelectQuery]]:
+        """Split the workload into ``batch_count`` near-equal batches."""
+        if order == "ordered":
+            queries = self.ordered()
+        elif order == "random":
+            queries = self.randomized(seed)
+        else:
+            raise WorkloadError(f"unknown order {order!r}; use 'ordered' or 'random'")
+        return split_batches(queries, self.batch_count)
+
+    def families(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.queries:
+            counts[entry.family] = counts.get(entry.family, 0) + 1
+        return counts
+
+    def subset(self, fraction: float, order: str = "ordered", seed: int = 11) -> List[SelectQuery]:
+        """The first ``fraction`` of the workload (used by the Table 5 sweep,
+        which runs on half of the random YAGO workload)."""
+        if not 0.0 < fraction <= 1.0:
+            raise WorkloadError("fraction must be in (0, 1]")
+        queries = self.ordered() if order == "ordered" else self.randomized(seed)
+        keep = max(1, int(round(len(queries) * fraction)))
+        return queries[:keep]
+
+
+def split_batches(queries: Sequence[SelectQuery], batch_count: int) -> List[List[SelectQuery]]:
+    """Split ``queries`` into ``batch_count`` contiguous, near-equal batches."""
+    if batch_count < 1:
+        raise WorkloadError("batch_count must be at least 1")
+    total = len(queries)
+    if total == 0:
+        raise WorkloadError("cannot batch an empty query list")
+    batch_count = min(batch_count, total)
+    base, remainder = divmod(total, batch_count)
+    batches: List[List[SelectQuery]] = []
+    start = 0
+    for index in range(batch_count):
+        size = base + (1 if index < remainder else 0)
+        batches.append(list(queries[start : start + size]))
+        start += size
+    return batches

@@ -1,0 +1,400 @@
+"""Synthetic WatDiv-like knowledge graph and workloads.
+
+WatDiv models an e-commerce / social domain (users, products, retailers,
+reviews) and ships four query-template families: linear (L), star (S),
+snowflake-shaped (F), and complex (C).  The paper's WatDiv workload has 100
+queries: 35 L, 25 S, 25 F, and 15 C (templates plus four mutations each).
+
+This module generates a shape-preserving synthetic WatDiv graph (same entity
+kinds, ~18 predicates, Zipf-skewed popularity) and the same four workload
+families with the same query counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.rdf.graph import TripleSet
+from repro.rdf.namespace import WATDIV
+from repro.rdf.terms import IRI
+
+from repro.workload.generator import SyntheticGraphBuilder
+from repro.workload.templates import QueryTemplate, Workload, WorkloadQuery
+
+__all__ = ["WatDivDataset", "generate_watdiv", "watdiv_workload", "WATDIV_FAMILY_SIZES"]
+
+#: Number of queries per family in the paper's WatDiv workload.
+WATDIV_FAMILY_SIZES = {"linear": 35, "star": 25, "snowflake": 25, "complex": 15}
+
+_PREDICATES = [
+    "follows",
+    "friendOf",
+    "likes",
+    "purchased",
+    "subscribes",
+    "hasReview",
+    "reviewer",
+    "rating",
+    "hasGenre",
+    "soldBy",
+    "locatedIn",
+    "price",
+    "caption",
+    "hits",
+    "homepage",
+    "age",
+    "gender",
+    "title",
+    "userName",
+    "description",
+    "email",
+    "birthday",
+    "imageUrl",
+    "brand",
+]
+
+
+@dataclass
+class WatDivDataset:
+    """Synthetic WatDiv triples plus the entity pools for query slots."""
+
+    triples: TripleSet
+    entities: Dict[str, List[IRI]]
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
+def generate_watdiv(target_triples: int = 8000, seed: int = 17) -> WatDivDataset:
+    """Generate a WatDiv-like graph of roughly ``target_triples`` triples."""
+    if target_triples < 200:
+        raise WorkloadError("target_triples must be at least 200")
+    builder = SyntheticGraphBuilder(WATDIV, seed=seed)
+    # Users dominate; every user contributes ~4.5 facts, every product ~6, and
+    # the relation predicates the complex templates traverse are kept small
+    # enough that each template's partition set fits the default 25% budget.
+    user_count = max(40, target_triples // 8)
+    product_count = max(20, int(user_count * 0.4))
+    users = builder.mint_entities("user", user_count)
+    products = builder.mint_entities("product", product_count)
+    retailers = builder.mint_entities("retailer", max(5, product_count // 20))
+    cities = builder.mint_entities("city", max(5, user_count // 100 + 5))
+    genres = builder.mint_entities("genre", 15)
+    websites = builder.mint_entities("website", max(5, user_count // 50))
+    reviews = builder.mint_entities("review", max(10, product_count // 3))
+
+    p = {name: WATDIV.term(name) for name in _PREDICATES}
+
+    for index, user in enumerate(users):
+        builder.add_fact(user, p["age"], 18 + (index * 7) % 60)
+        builder.add_fact(user, p["userName"], f"user_name_{index}")
+        builder.add_fact(user, p["email"], f"user_{index}@example.org")
+        builder.add_fact(user, p["birthday"], f"19{index % 80 + 20}-0{index % 9 + 1}-15")
+        if builder.coin(0.5):
+            builder.add_fact(user, p["gender"], "female" if index % 2 else "male")
+        if builder.coin(0.3):
+            other = builder.choose(users, skew=1.2)
+            if other != user:
+                builder.add_fact(user, p["follows"], other)
+        if builder.coin(0.2):
+            friend = builder.choose(users, skew=1.0)
+            if friend != user:
+                builder.add_fact(user, p["friendOf"], friend)
+        if builder.coin(0.4):
+            builder.add_fact(user, p["likes"], builder.choose(products, skew=1.3))
+        if builder.coin(0.3):
+            builder.add_fact(user, p["purchased"], builder.choose(products, skew=1.3))
+        if builder.coin(0.2):
+            builder.add_fact(user, p["subscribes"], builder.choose(websites, skew=1.1))
+
+    for index, product in enumerate(products):
+        builder.add_fact(product, p["hasGenre"], builder.choose(genres, skew=1.2))
+        builder.add_fact(product, p["soldBy"], builder.choose(retailers, skew=1.1))
+        builder.add_fact(product, p["price"], 5 + (index * 13) % 500)
+        builder.add_fact(product, p["description"], f"description_{index}")
+        builder.add_fact(product, p["imageUrl"], f"http://img.example.org/{index}.png")
+        builder.add_fact(product, p["brand"], f"brand_{index % 40}")
+        if builder.coin(0.6):
+            builder.add_fact(product, p["caption"], f"caption_{index % 211}")
+        if builder.coin(0.5):
+            builder.add_fact(product, p["title"], f"title_{index % 307}")
+
+    for index, review in enumerate(reviews):
+        product = builder.choose(products, skew=1.3)
+        builder.add_fact(product, p["hasReview"], review)
+        builder.add_fact(review, p["reviewer"], builder.choose(users, skew=1.2))
+        builder.add_fact(review, p["rating"], 1 + index % 5)
+
+    for retailer in retailers:
+        builder.add_fact(retailer, p["locatedIn"], builder.choose(cities, skew=1.0))
+        if builder.coin(0.7):
+            builder.add_fact(retailer, p["homepage"], builder.choose(websites, skew=1.0))
+
+    for index, website in enumerate(websites):
+        builder.add_fact(website, p["hits"], (index * 37) % 10_000)
+
+    return WatDivDataset(
+        triples=builder.build(),
+        entities={
+            "user": users,
+            "product": products,
+            "retailer": retailers,
+            "city": cities,
+            "genre": genres,
+            "website": websites,
+            "review": reviews,
+        },
+    )
+
+
+def _values(entities: List[IRI], count: int) -> List[str]:
+    if not entities:
+        raise WorkloadError("empty entity pool for template slot")
+    return [entities[i % len(entities)].n3() for i in range(count)]
+
+
+def watdiv_templates(dataset: WatDivDataset) -> Dict[str, List[QueryTemplate]]:
+    """Template definitions per family (7 L, 5 S, 5 F, 3 C)."""
+    genres = _values(dataset.entities["genre"], 5)
+    cities = _values(dataset.entities["city"], 5)
+    retailers = _values(dataset.entities["retailer"], 5)
+    websites = _values(dataset.entities["website"], 5)
+    products_slot = _values(dataset.entities["product"], 5)
+
+    linear = [
+        QueryTemplate(
+            name="watdiv-L1",
+            family="linear",
+            text=(
+                "SELECT ?u ?p WHERE { ?u wsdbm:follows ?v . ?v wsdbm:likes ?p . "
+                "?p wsdbm:hasGenre {genre} . }"
+            ),
+            slots={"genre": genres},
+        ),
+        QueryTemplate(
+            name="watdiv-L2",
+            family="linear",
+            text=(
+                "SELECT ?u WHERE { ?u wsdbm:purchased ?p . ?p wsdbm:soldBy ?r . "
+                "?r wsdbm:locatedIn {city} . }"
+            ),
+            slots={"city": cities},
+        ),
+        QueryTemplate(
+            name="watdiv-L3",
+            family="linear",
+            text=(
+                "SELECT ?u ?r WHERE { ?u wsdbm:likes ?p . ?p wsdbm:hasReview ?rev . "
+                "?rev wsdbm:reviewer ?r . }"
+            ),
+        ),
+        QueryTemplate(
+            name="watdiv-L4",
+            family="linear",
+            text=(
+                "SELECT ?v WHERE { ?u wsdbm:friendOf ?v . ?v wsdbm:subscribes {website} . }"
+            ),
+            slots={"website": websites},
+        ),
+        QueryTemplate(
+            name="watdiv-L5",
+            family="linear",
+            text=(
+                "SELECT ?u ?city WHERE { ?u wsdbm:purchased ?p . ?p wsdbm:soldBy {retailer} . "
+                "{retailer} wsdbm:locatedIn ?city . }"
+            ),
+            slots={"retailer": retailers},
+        ),
+        QueryTemplate(
+            name="watdiv-L6",
+            family="linear",
+            text=(
+                "SELECT ?a ?c WHERE { ?a wsdbm:follows ?b . ?b wsdbm:follows ?c . "
+                "?c wsdbm:likes ?p . ?p wsdbm:hasGenre {genre} . }"
+            ),
+            slots={"genre": genres},
+        ),
+        QueryTemplate(
+            name="watdiv-L7",
+            family="linear",
+            text=(
+                "SELECT ?rev ?rating WHERE { ?u wsdbm:subscribes {website} . "
+                "?u wsdbm:purchased ?p . ?p wsdbm:hasReview ?rev . ?rev wsdbm:rating ?rating . }"
+            ),
+            slots={"website": websites},
+        ),
+    ]
+
+    star = [
+        QueryTemplate(
+            name="watdiv-S1",
+            family="star",
+            text=(
+                "SELECT ?p ?price ?caption WHERE { ?p wsdbm:hasGenre {genre} . "
+                "?p wsdbm:soldBy {retailer} . "
+                "?p wsdbm:price ?price . ?p wsdbm:caption ?caption . }"
+            ),
+            slots={"genre": genres, "retailer": retailers},
+        ),
+        QueryTemplate(
+            name="watdiv-S2",
+            family="star",
+            text=(
+                "SELECT ?u ?age WHERE { ?u wsdbm:age ?age . ?u wsdbm:gender ?g . "
+                "?u wsdbm:subscribes {website} . ?u wsdbm:likes {product} . }"
+            ),
+            slots={"website": websites, "product": products_slot},
+        ),
+        QueryTemplate(
+            name="watdiv-S3",
+            family="star",
+            text=(
+                "SELECT ?r ?site WHERE { ?r wsdbm:locatedIn {city} . "
+                "?r wsdbm:homepage ?site . ?p wsdbm:soldBy ?r . ?p wsdbm:hasGenre {genre} . }"
+            ),
+            slots={"city": cities, "genre": genres},
+        ),
+        QueryTemplate(
+            name="watdiv-S4",
+            family="star",
+            text=(
+                "SELECT ?rev ?rating ?who WHERE { ?rev wsdbm:rating ?rating . "
+                "?rev wsdbm:reviewer ?who . FILTER(?rating >= 4) }"
+            ),
+        ),
+        QueryTemplate(
+            name="watdiv-S5",
+            family="star",
+            text=(
+                "SELECT ?p ?title WHERE { ?p wsdbm:title ?title . ?p wsdbm:price ?price . "
+                "?p wsdbm:soldBy {retailer} . ?p wsdbm:hasGenre {genre} . "
+                "FILTER(?price <= 250) }"
+            ),
+            slots={"retailer": retailers, "genre": genres},
+        ),
+    ]
+
+    snowflake = [
+        QueryTemplate(
+            name="watdiv-F1",
+            family="snowflake",
+            text=(
+                "SELECT ?u ?r WHERE { ?u wsdbm:purchased ?p . ?u wsdbm:age ?age . "
+                "?p wsdbm:hasGenre {genre} . ?p wsdbm:soldBy ?r . ?r wsdbm:locatedIn ?city . }"
+            ),
+            slots={"genre": genres},
+        ),
+        QueryTemplate(
+            name="watdiv-F2",
+            family="snowflake",
+            text=(
+                "SELECT ?p ?who WHERE { ?p wsdbm:hasReview ?rev . ?rev wsdbm:reviewer ?who . "
+                "?rev wsdbm:rating ?rating . ?p wsdbm:soldBy {retailer} . ?who wsdbm:age ?age . }"
+            ),
+            slots={"retailer": retailers},
+        ),
+        QueryTemplate(
+            name="watdiv-F3",
+            family="snowflake",
+            text=(
+                "SELECT ?u ?v WHERE { ?u wsdbm:follows ?v . ?u wsdbm:likes ?p1 . "
+                "?v wsdbm:likes ?p2 . ?p1 wsdbm:hasGenre {genre} . ?p2 wsdbm:hasGenre {genre} . }"
+            ),
+            slots={"genre": genres},
+        ),
+        QueryTemplate(
+            name="watdiv-F4",
+            family="snowflake",
+            text=(
+                "SELECT ?u WHERE { ?u wsdbm:subscribes ?site . ?site wsdbm:hits ?hits . "
+                "?u wsdbm:purchased ?p . ?p wsdbm:price ?price . FILTER(?price <= 100) }"
+            ),
+        ),
+        QueryTemplate(
+            name="watdiv-F5",
+            family="snowflake",
+            text=(
+                "SELECT ?who ?city WHERE { ?rev wsdbm:reviewer ?who . ?rev wsdbm:rating ?rating . "
+                "?p wsdbm:hasReview ?rev . ?p wsdbm:soldBy ?r . ?r wsdbm:locatedIn ?city . "
+                "FILTER(?rating >= 3) }"
+            ),
+        ),
+    ]
+
+    complex_family = [
+        QueryTemplate(
+            name="watdiv-C1",
+            family="complex",
+            text=(
+                "SELECT ?u ?v ?p WHERE { ?u wsdbm:follows ?v . ?v wsdbm:friendOf ?u . "
+                "?u wsdbm:likes ?p . ?v wsdbm:likes ?p . ?p wsdbm:hasGenre {genre} . }"
+            ),
+            slots={"genre": genres},
+        ),
+        QueryTemplate(
+            name="watdiv-C2",
+            family="complex",
+            text=(
+                "SELECT ?u ?r WHERE { ?u wsdbm:purchased ?p . ?p wsdbm:hasReview ?rev . "
+                "?rev wsdbm:reviewer ?u . ?p wsdbm:soldBy ?r . ?r wsdbm:locatedIn {city} . }"
+            ),
+            slots={"city": cities},
+        ),
+        QueryTemplate(
+            name="watdiv-C3",
+            family="complex",
+            text=(
+                "SELECT ?a ?b WHERE { ?a wsdbm:follows ?b . ?b wsdbm:follows ?c . "
+                "?c wsdbm:follows ?a . ?a wsdbm:likes ?p . ?b wsdbm:likes ?p . "
+                "?p wsdbm:soldBy {retailer} . }"
+            ),
+            slots={"retailer": retailers},
+        ),
+    ]
+
+    return {
+        "linear": linear,
+        "star": star,
+        "snowflake": snowflake,
+        "complex": complex_family,
+    }
+
+
+def watdiv_workload(
+    dataset: WatDivDataset,
+    family: str | None = None,
+    mutations: int = 4,
+    seed: int = 19,
+) -> Workload:
+    """Build the WatDiv workload (all families) or one family's sub-workload.
+
+    ``family`` may be ``"linear"``, ``"star"``, ``"snowflake"``, ``"complex"``
+    (the paper's WatDiv-L/S/F/C), or ``None`` for the full 100-query workload.
+    """
+    all_templates = watdiv_templates(dataset)
+    if family is not None:
+        if family not in all_templates:
+            raise WorkloadError(f"unknown WatDiv family {family!r}")
+        selected = {family: all_templates[family]}
+        name = f"WatDiv-{family[0].upper()}"
+    else:
+        selected = all_templates
+        name = "WatDiv"
+
+    rng = random.Random(seed)
+    entries: List[WorkloadQuery] = []
+    for family_name, templates in selected.items():
+        for template in templates:
+            for mutation_index, query in enumerate(template.mutations(mutations, rng)):
+                entries.append(
+                    WorkloadQuery(
+                        template=template.name,
+                        family=family_name,
+                        mutation_index=mutation_index,
+                        query=query,
+                    )
+                )
+    return Workload(name=name, queries=entries)

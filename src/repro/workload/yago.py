@@ -1,0 +1,250 @@
+"""Synthetic YAGO-like knowledge graph and workload.
+
+The paper's YAGO slice contains the YagoFacts relations plus the
+``hasGivenName`` / ``hasFamilyName`` literals (Table 3: 16.4M triples, 39
+predicates, 20 workload queries).  This module builds a shape-preserving
+stand-in: people with names, birthplaces, advisors, spouses, employers,
+citizenships and prizes, over Zipf-skewed cities so that "born in the same
+city" joins have non-trivial answers.
+
+The workload contains four templates (the paper's Example 1 among them), each
+with four mutations, for a total of 20 queries — matching the paper's YAGO
+workload size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.rdf.graph import TripleSet
+from repro.rdf.namespace import YAGO
+from repro.rdf.terms import IRI
+
+from repro.workload.generator import SyntheticGraphBuilder
+from repro.workload.templates import QueryTemplate, Workload, WorkloadQuery
+
+__all__ = ["YagoDataset", "generate_yago", "yago_workload", "YAGO_PREDICATES"]
+
+#: The predicates the synthetic YAGO slice uses (a subset of real YAGO's 39).
+YAGO_PREDICATES = [
+    "hasGivenName",
+    "hasFamilyName",
+    "hasLabel",
+    "hasBirthDate",
+    "hasGender",
+    "wasBornIn",
+    "hasAcademicAdvisor",
+    "isMarriedTo",
+    "livesIn",
+    "diedIn",
+    "graduatedFrom",
+    "worksAt",
+    "isCitizenOf",
+    "hasWonPrize",
+    "hasChild",
+    "actedIn",
+    "directed",
+    "influences",
+    "isLocatedIn",
+]
+
+
+@dataclass
+class YagoDataset:
+    """The generated triples plus the entity pools used to fill query slots."""
+
+    triples: TripleSet
+    entities: Dict[str, List[IRI]]
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
+def generate_yago(target_triples: int = 5000, seed: int = 7) -> YagoDataset:
+    """Generate a YAGO-like knowledge graph of roughly ``target_triples``."""
+    if target_triples < 100:
+        raise WorkloadError("target_triples must be at least 100")
+    builder = SyntheticGraphBuilder(YAGO, seed=seed)
+    # Roughly 9 facts are emitted per person (see the emission probabilities
+    # below).  The proportions are chosen so that the union of the partitions
+    # the workload's complex subqueries touch fits inside the default
+    # graph-store budget (r_BG = 25% of the knowledge graph) — the same
+    # property the paper's YAGO slice has, where name/date literals dominate
+    # the triple count while the relations the complex queries traverse are
+    # comparatively small.
+    person_count = max(20, target_triples // 9)
+    persons = builder.mint_entities("person", person_count)
+    cities = builder.mint_entities("city", max(5, person_count // 40))
+    countries = builder.mint_entities("country", max(5, person_count // 200 + 5))
+    universities = builder.mint_entities("university", max(4, person_count // 80))
+    organizations = builder.mint_entities("organization", max(4, person_count // 60))
+    prizes = builder.mint_entities("prize", 12)
+    movies = builder.mint_entities("movie", max(5, person_count // 25))
+
+    p = {name: YAGO.term(name) for name in YAGO_PREDICATES}
+
+    birth_city: Dict[IRI, IRI] = {}
+    for index, person in enumerate(persons):
+        builder.add_fact(person, p["hasGivenName"], f"given_{index % 997}")
+        builder.add_fact(person, p["hasFamilyName"], f"family_{index % 499}")
+        builder.add_fact(person, p["hasLabel"], f"person_label_{index}")
+        builder.add_fact(person, p["hasBirthDate"], f"19{index % 90 + 10}-01-{index % 28 + 1:02d}")
+        builder.add_fact(person, p["hasGender"], "female" if index % 2 else "male")
+
+        city = builder.choose(cities, skew=1.1)
+        birth_city[person] = city
+        builder.add_fact(person, p["wasBornIn"], city)
+
+        if builder.coin(0.5):
+            builder.add_fact(person, p["livesIn"], builder.choose(cities, skew=1.1))
+        if builder.coin(0.4):
+            builder.add_fact(person, p["isCitizenOf"], builder.choose(countries, skew=1.05))
+
+        if builder.coin(0.25):
+            advisor = builder.choose(persons)
+            if advisor != person:
+                builder.add_fact(person, p["hasAcademicAdvisor"], advisor)
+
+        if builder.coin(0.15):
+            spouse = builder.choose(persons)
+            if spouse != person:
+                builder.add_fact(person, p["isMarriedTo"], spouse)
+                builder.add_fact(spouse, p["isMarriedTo"], person)
+
+        if builder.coin(0.4):
+            builder.add_fact(person, p["graduatedFrom"], builder.choose(universities, skew=1.0))
+        if builder.coin(0.4):
+            builder.add_fact(person, p["worksAt"], builder.choose(organizations, skew=1.0))
+        if builder.coin(0.08):
+            builder.add_fact(person, p["hasWonPrize"], builder.choose(prizes, skew=1.2))
+        if builder.coin(0.2):
+            child = builder.choose(persons)
+            if child != person:
+                builder.add_fact(person, p["hasChild"], child)
+        if builder.coin(0.18):
+            builder.add_fact(person, p["actedIn"], builder.choose(movies, skew=1.1))
+        if builder.coin(0.05):
+            builder.add_fact(person, p["directed"], builder.choose(movies, skew=1.1))
+        if builder.coin(0.1):
+            other = builder.choose(persons)
+            if other != person:
+                builder.add_fact(person, p["influences"], other)
+        if builder.coin(0.1):
+            builder.add_fact(person, p["diedIn"], builder.choose(cities, skew=1.1))
+
+    # Entity metadata that no complex query traverses (bulk facts, like the
+    # long tail of YAGO predicates the evaluation never touches).
+    for index, city in enumerate(cities):
+        builder.add_fact(city, p["hasLabel"], f"city_label_{index}")
+        builder.add_fact(city, p["isLocatedIn"], builder.choose(countries, skew=1.0))
+    for kind in ("university", "organization", "movie"):
+        for index, entity in enumerate(builder.entities(kind)):
+            builder.add_fact(entity, p["hasLabel"], f"{kind}_label_{index}")
+
+    return YagoDataset(
+        triples=builder.build(),
+        entities={
+            "person": persons,
+            "city": cities,
+            "country": countries,
+            "university": universities,
+            "organization": organizations,
+            "prize": prizes,
+            "movie": movies,
+        },
+    )
+
+
+def _slot_values(entities: List[IRI], count: int) -> List[str]:
+    """N3 forms of the first ``count`` entities, cycled if necessary."""
+    if not entities:
+        raise WorkloadError("cannot build slot values from an empty entity pool")
+    values = []
+    for index in range(count):
+        values.append(entities[index % len(entities)].n3())
+    return values
+
+
+def yago_templates(dataset: YagoDataset) -> List[QueryTemplate]:
+    """The four YAGO query templates (Example 1 included)."""
+    prizes = _slot_values(dataset.entities["prize"], 5)
+    cities = _slot_values(dataset.entities["city"], 5)
+
+    return [
+        QueryTemplate(
+            name="yago-advisor-birthplace",
+            family="complex",
+            text=(
+                "SELECT ?GivenName ?FamilyName WHERE { "
+                "?p y:hasGivenName ?GivenName . "
+                "?p y:hasFamilyName ?FamilyName . "
+                "?p y:wasBornIn ?city . "
+                "?p y:hasAcademicAdvisor ?a . "
+                "?a y:wasBornIn ?city . "
+                "?p y:diedIn {city_constant} . }"
+            ),
+            slots={"city_constant": cities},
+        ),
+        QueryTemplate(
+            name="yago-example1",
+            family="complex",
+            text=(
+                "SELECT ?GivenName ?FamilyName WHERE { "
+                "?p y:hasGivenName ?GivenName . "
+                "?p y:hasFamilyName ?FamilyName . "
+                "?p y:wasBornIn ?city . "
+                "?p y:hasAcademicAdvisor ?a . "
+                "?a y:wasBornIn ?city . "
+                "?p y:isMarriedTo ?p2 . "
+                "?p2 y:wasBornIn ?city . "
+                "?p y:hasWonPrize {prize} . }"
+            ),
+            slots={"prize": prizes},
+        ),
+        QueryTemplate(
+            name="yago-couple-same-birthplace",
+            family="complex",
+            text=(
+                "SELECT ?GivenName WHERE { "
+                "?p y:hasGivenName ?GivenName . "
+                "?p y:isMarriedTo ?q . "
+                "?p y:wasBornIn ?c . "
+                "?q y:wasBornIn ?c . "
+                "?p y:hasWonPrize {prize} . }"
+            ),
+            slots={"prize": prizes},
+        ),
+        QueryTemplate(
+            name="yago-parent-child-birthplace",
+            family="complex",
+            text=(
+                "SELECT ?FamilyName WHERE { "
+                "?p y:hasFamilyName ?FamilyName . "
+                "?p y:hasChild ?ch . "
+                "?p y:wasBornIn ?c . "
+                "?ch y:wasBornIn ?c . "
+                "?p y:diedIn {city_constant} . }"
+            ),
+            slots={"city_constant": cities},
+        ),
+    ]
+
+
+def yago_workload(dataset: YagoDataset, mutations: int = 4, seed: int = 13) -> Workload:
+    """The 20-query YAGO workload (4 templates × (1 + ``mutations``))."""
+    rng = random.Random(seed)
+    entries: List[WorkloadQuery] = []
+    for template in yago_templates(dataset):
+        for mutation_index, query in enumerate(template.mutations(mutations, rng)):
+            entries.append(
+                WorkloadQuery(
+                    template=template.name,
+                    family=template.family,
+                    mutation_index=mutation_index,
+                    query=query,
+                )
+            )
+    return Workload(name="YAGO", queries=entries)

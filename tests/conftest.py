@@ -1,0 +1,114 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small, deterministic knowledge graphs and queries that
+many test modules reuse: a handful of hand-written YAGO-style triples (so
+expected query answers can be enumerated by hand), plus generated synthetic
+datasets at test scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple, TripleSet, YAGO
+from repro.sparql import parse_query
+from repro.workload import generate_yago, yago_workload
+
+
+# --------------------------------------------------------------------------- #
+# Hand-written mini knowledge graph (answers verifiable by hand)
+# --------------------------------------------------------------------------- #
+def _person(name: str) -> IRI:
+    return YAGO.term(name)
+
+
+def _city(name: str) -> IRI:
+    return YAGO.term(name)
+
+
+@pytest.fixture(scope="session")
+def mini_kg() -> TripleSet:
+    """Seven people, three cities, advisor/marriage/name facts.
+
+    Designed so the paper's Example 1 style queries have small, hand-checkable
+    answers:
+
+    * alice was born in berlin, her advisor bob was also born in berlin.
+    * carol was born in paris, her advisor dave was born in berlin (no match).
+    * eve and frank are married and both born in rome.
+    """
+    born = YAGO.term("wasBornIn")
+    advisor = YAGO.term("hasAcademicAdvisor")
+    married = YAGO.term("isMarriedTo")
+    given = YAGO.term("hasGivenName")
+    family = YAGO.term("hasFamilyName")
+
+    berlin, paris, rome = _city("Berlin"), _city("Paris"), _city("Rome")
+    alice, bob, carol, dave, eve, frank, grace = (
+        _person("Alice"),
+        _person("Bob"),
+        _person("Carol"),
+        _person("Dave"),
+        _person("Eve"),
+        _person("Frank"),
+        _person("Grace"),
+    )
+
+    triples = [
+        Triple(alice, born, berlin),
+        Triple(bob, born, berlin),
+        Triple(carol, born, paris),
+        Triple(dave, born, berlin),
+        Triple(eve, born, rome),
+        Triple(frank, born, rome),
+        Triple(grace, born, paris),
+        Triple(alice, advisor, bob),
+        Triple(carol, advisor, dave),
+        Triple(eve, advisor, grace),
+        Triple(eve, married, frank),
+        Triple(frank, married, eve),
+        Triple(alice, given, Literal("Alice")),
+        Triple(alice, family, Literal("Smith")),
+        Triple(bob, given, Literal("Bob")),
+        Triple(carol, given, Literal("Carol")),
+        Triple(eve, given, Literal("Eve")),
+        Triple(frank, given, Literal("Frank")),
+    ]
+    return TripleSet(triples)
+
+
+@pytest.fixture(scope="session")
+def advisor_query():
+    """The paper's motivating query: people born where their advisor was born."""
+    return parse_query(
+        "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+        "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }"
+    )
+
+
+@pytest.fixture(scope="session")
+def example1_query():
+    """The paper's Example 1 query (names + advisor + spouse birthplaces)."""
+    return parse_query(
+        "SELECT ?GivenName ?FamilyName WHERE { "
+        "?p y:hasGivenName ?GivenName . "
+        "?p y:hasFamilyName ?FamilyName . "
+        "?p y:wasBornIn ?city . "
+        "?p y:hasAcademicAdvisor ?a . "
+        "?a y:wasBornIn ?city . "
+        "?p y:isMarriedTo ?p2 . "
+        "?p2 y:wasBornIn ?city . }"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Generated synthetic data at test scale
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def yago_dataset():
+    return generate_yago(2500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def yago_queries(yago_dataset):
+    return yago_workload(yago_dataset, seed=13)

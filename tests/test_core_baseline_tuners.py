@@ -1,0 +1,127 @@
+"""Unit tests for the baseline tuning policies (one-off, LRU, ideal, static)."""
+
+import pytest
+
+from repro.core import DualStore, IdealTuner, LRUTuner, OneOffTuner, StaticTuner
+from repro.rdf import YAGO
+from repro.sparql import parse_query
+
+BORN = YAGO.term("wasBornIn")
+ADVISOR = YAGO.term("hasAcademicAdvisor")
+MARRIED = YAGO.term("isMarriedTo")
+
+
+def make_dual(mini_kg, budget=1000):
+    dual = DualStore(storage_budget=budget)
+    dual.load(mini_kg)
+    return dual
+
+
+def advisor_subquery(dual):
+    return dual.identify(
+        parse_query(
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c . }"
+        )
+    )
+
+
+def marriage_subquery(dual):
+    return dual.identify(
+        parse_query(
+            "SELECT ?p WHERE { ?p y:isMarriedTo ?q . ?p y:wasBornIn ?c . ?q y:wasBornIn ?c . }"
+        )
+    )
+
+
+class TestStaticTuner:
+    def test_never_changes_the_design(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = StaticTuner(dual)
+        report = tuner.tune([advisor_subquery(dual)])
+        assert report.transferred == [] and report.evicted == []
+        assert dual.design.graph_partitions == frozenset()
+
+
+class TestOneOffTuner:
+    def test_prepare_tunes_once_for_the_whole_workload(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = OneOffTuner(dual)
+        tuner.prepare([advisor_subquery(dual), marriage_subquery(dual)])
+        assert dual.design.covers([BORN, ADVISOR, MARRIED])
+
+    def test_prepare_respects_the_budget(self, mini_kg):
+        dual = make_dual(mini_kg, budget=6)  # wasBornIn (7) does not fit
+        tuner = OneOffTuner(dual)
+        tuner.prepare([advisor_subquery(dual), marriage_subquery(dual)])
+        assert BORN not in dual.design.graph_partitions
+        assert dual.design.used_budget() <= 6
+
+    def test_tune_after_prepare_is_static(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = OneOffTuner(dual)
+        tuner.prepare([advisor_subquery(dual)])
+        before = set(dual.design.graph_partitions)
+        tuner.tune([marriage_subquery(dual)])
+        assert set(dual.design.graph_partitions) == before
+
+    def test_prepare_is_idempotent(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = OneOffTuner(dual)
+        tuner.prepare([advisor_subquery(dual)])
+        tuner.prepare([marriage_subquery(dual)])  # ignored: already tuned
+        assert MARRIED not in dual.design.graph_partitions
+
+
+class TestLRUTuner:
+    def test_transfers_frequent_partitions(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = LRUTuner(dual)
+        report = tuner.tune([advisor_subquery(dual)])
+        assert set(report.transferred) == {BORN, ADVISOR}
+
+    def test_eviction_prefers_least_recently_used(self, mini_kg):
+        dual = make_dual(mini_kg, budget=11)
+        tuner = LRUTuner(dual)
+        tuner.tune([advisor_subquery(dual)])
+        # the marriage subquery arrives repeatedly -> married becomes frequent
+        report = tuner.tune([marriage_subquery(dual), marriage_subquery(dual)])
+        assert MARRIED in dual.design.graph_partitions
+        assert ADVISOR in report.evicted or ADVISOR not in dual.design.graph_partitions
+
+    def test_history_accumulates_across_batches(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = LRUTuner(dual)
+        tuner.tune([advisor_subquery(dual)])
+        tuner.tune([marriage_subquery(dual)])
+        assert dual.design.covers([BORN, ADVISOR, MARRIED])
+
+
+class TestIdealTuner:
+    def test_uses_upcoming_batch_when_available(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = IdealTuner(dual)
+        tuner.tune([advisor_subquery(dual)], upcoming=[marriage_subquery(dual)])
+        assert dual.design.covers([BORN, MARRIED])
+
+    def test_falls_back_to_recent_batch(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = IdealTuner(dual)
+        tuner.tune([advisor_subquery(dual)], upcoming=None)
+        assert dual.design.covers([BORN, ADVISOR])
+
+    def test_keeps_resident_partitions_when_there_is_room(self, mini_kg):
+        dual = make_dual(mini_kg)
+        tuner = IdealTuner(dual)
+        tuner.tune([advisor_subquery(dual)])
+        tuner.tune([marriage_subquery(dual)], upcoming=[marriage_subquery(dual)])
+        # advisor stays because the budget is large enough
+        assert ADVISOR in dual.design.graph_partitions
+
+    def test_evicts_only_when_budget_requires_it(self, mini_kg):
+        dual = make_dual(mini_kg, budget=11)
+        tuner = IdealTuner(dual)
+        tuner.tune([advisor_subquery(dual)])
+        report = tuner.tune([marriage_subquery(dual)], upcoming=[marriage_subquery(dual)])
+        assert MARRIED in dual.design.graph_partitions
+        assert report.evicted  # something had to go
+        assert dual.design.used_budget() <= 11

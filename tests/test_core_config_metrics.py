@@ -1,0 +1,107 @@
+"""Unit tests for configuration objects and metric records."""
+
+import pytest
+
+from repro.core import (
+    BatchResult,
+    DEFAULT_CONFIG,
+    DotilConfig,
+    PAPER_TUNED_CONFIG,
+    QueryRecord,
+    WorkloadResult,
+    improvement_percent,
+)
+from repro.errors import ConfigError
+from repro.sparql import parse_query
+
+
+QUERY = parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+
+
+def record(seconds, route="relational", graph=0.0):
+    return QueryRecord(
+        query=QUERY,
+        seconds=seconds,
+        route=route,
+        result_count=1,
+        graph_seconds=graph,
+        relational_seconds=seconds - graph,
+    )
+
+
+class TestDotilConfig:
+    def test_defaults_match_paper_table4(self):
+        assert DEFAULT_CONFIG.r_bg == 0.25
+        assert DEFAULT_CONFIG.prob == 0.5
+        assert DEFAULT_CONFIG.alpha == 0.5
+        assert DEFAULT_CONFIG.gamma == 0.5
+        assert DEFAULT_CONFIG.lam == 3.5
+
+    def test_paper_tuned_values_match_section_631(self):
+        assert PAPER_TUNED_CONFIG.prob == 0.9
+        assert PAPER_TUNED_CONFIG.gamma == 0.7
+        assert PAPER_TUNED_CONFIG.lam == 4.5
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"r_bg": 0.0},
+            {"r_bg": 1.5},
+            {"prob": -0.1},
+            {"prob": 1.1},
+            {"alpha": 0.0},
+            {"gamma": 1.0},
+            {"lam": 0.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ConfigError):
+            DotilConfig(**overrides)
+
+    def test_with_overrides_validates(self):
+        assert DEFAULT_CONFIG.with_overrides(gamma=0.7).gamma == 0.7
+        with pytest.raises(ConfigError):
+            DEFAULT_CONFIG.with_overrides(gamma=2.0)
+
+
+class TestMetrics:
+    def test_batch_tti_is_sum_of_records(self):
+        batch = BatchResult(index=0, records=[record(1.0), record(2.0)])
+        assert batch.tti == pytest.approx(3.0)
+        assert len(batch) == 2
+
+    def test_graph_cost_share(self):
+        batch = BatchResult(index=0, records=[record(2.0, route="split", graph=0.5)])
+        assert batch.graph_cost_share == pytest.approx(0.25)
+        assert BatchResult(index=1).graph_cost_share == 0.0
+
+    def test_route_counts(self):
+        batch = BatchResult(
+            index=0, records=[record(1.0), record(1.0, route="split"), record(1.0, route="split")]
+        )
+        assert batch.route_counts() == {"relational": 1, "split": 2}
+
+    def test_workload_result_aggregates(self):
+        result = WorkloadResult(
+            label="demo",
+            batches=[
+                BatchResult(index=0, records=[record(1.0)]),
+                BatchResult(index=1, records=[record(3.0, route="split", graph=1.0)]),
+            ],
+        )
+        assert result.total_tti == pytest.approx(4.0)
+        assert result.batch_ttis() == [1.0, 3.0]
+        assert result.graph_cost_shares()[1] == pytest.approx(1.0 / 3.0)
+        assert result.record_count() == 2
+
+    @pytest.mark.parametrize(
+        "baseline, improved, expected",
+        [
+            (10.0, 5.0, 50.0),
+            (10.0, 10.0, 0.0),
+            (10.0, 12.0, -20.0),
+            (0.0, 5.0, 0.0),
+        ],
+    )
+    def test_improvement_percent(self, baseline, improved, expected):
+        assert improvement_percent(baseline, improved) == pytest.approx(expected)

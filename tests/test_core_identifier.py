@@ -1,0 +1,102 @@
+"""Unit tests for the complex subquery identifier (Section 3.1)."""
+
+import pytest
+
+from repro.core import ComplexSubqueryIdentifier, identify_complex_subquery
+from repro.rdf import YAGO
+from repro.sparql import parse_query
+
+
+IDENTIFIER = ComplexSubqueryIdentifier()
+
+
+class TestExample1:
+    """The identifier must reproduce the paper's Example 1 exactly."""
+
+    def test_example1_complex_patterns(self, example1_query):
+        complex_subquery = IDENTIFIER.identify(example1_query)
+        assert complex_subquery is not None
+        predicates = {p.local_name() for p in complex_subquery.predicates}
+        assert predicates == {"wasBornIn", "hasAcademicAdvisor", "isMarriedTo"}
+        assert len(complex_subquery.patterns) == 5
+
+    def test_example1_remainder_is_the_name_patterns(self, example1_query):
+        complex_subquery = IDENTIFIER.identify(example1_query)
+        remainder_predicates = {p.predicate.local_name() for p in complex_subquery.remainder}
+        assert remainder_predicates == {"hasGivenName", "hasFamilyName"}
+
+    def test_example1_output_variable_is_p(self, example1_query):
+        complex_subquery = IDENTIFIER.identify(example1_query)
+        assert complex_subquery.output_variables == ("p",)
+        assert complex_subquery.query.projected_names() == ("p",)
+
+    def test_example1_is_not_whole_query(self, example1_query):
+        assert not IDENTIFIER.identify(example1_query).is_whole_query
+
+
+class TestIdentificationRules:
+    def test_query_without_repeated_variables_has_no_complex_subquery(self):
+        query = parse_query("SELECT ?n WHERE { ?p y:hasGivenName ?n . }")
+        assert IDENTIFIER.identify(query) is None
+
+    def test_star_query_with_single_repeated_variable_only(self):
+        # only ?p repeats; each pattern's other variable occurs once
+        query = parse_query(
+            "SELECT ?p WHERE { ?p y:hasGivenName ?n . ?p y:hasFamilyName ?f . ?p y:wasBornIn ?c . }"
+        )
+        assert IDENTIFIER.identify(query) is None
+
+    def test_constant_positions_do_not_disqualify_a_pattern(self):
+        query = parse_query(
+            "SELECT ?p WHERE { ?p y:wasBornIn <%s> . ?p y:diedIn <%s> . ?p y:hasGivenName ?n . }"
+            % (YAGO.term("Berlin").value, YAGO.term("Rome").value)
+        )
+        complex_subquery = IDENTIFIER.identify(query)
+        assert complex_subquery is not None
+        assert {p.local_name() for p in complex_subquery.predicates} == {"wasBornIn", "diedIn"}
+
+    def test_minimum_patterns_threshold(self):
+        query = parse_query(
+            "SELECT ?p WHERE { ?p y:wasBornIn <%s> . ?p y:hasGivenName ?n . }" % YAGO.term("Berlin").value
+        )
+        assert ComplexSubqueryIdentifier(minimum_patterns=2).identify(query) is None
+        assert ComplexSubqueryIdentifier(minimum_patterns=1).identify(query) is not None
+
+    def test_fully_complex_query(self, advisor_query):
+        complex_subquery = IDENTIFIER.identify(advisor_query)
+        assert complex_subquery is not None
+        assert complex_subquery.is_whole_query
+        assert complex_subquery.remainder == ()
+        # output defaults to the projected variable bound by the complex part
+        assert complex_subquery.output_variables == ("p",)
+
+    def test_output_variables_include_projection_only_bound_by_complex_part(self):
+        query = parse_query(
+            "SELECT ?city WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . "
+            "?a y:wasBornIn ?city . ?p y:hasGivenName ?n . }"
+        )
+        complex_subquery = IDENTIFIER.identify(query)
+        assert "city" in complex_subquery.output_variables
+        assert "p" in complex_subquery.output_variables  # join variable with the remainder
+
+    def test_filters_restricted_to_complex_variables_are_carried_over(self):
+        query = parse_query(
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c . "
+            "?p y:hasGivenName ?n . FILTER(?n != \"Eve\") }"
+        )
+        complex_subquery = IDENTIFIER.identify(query)
+        # the filter references ?n which is not part of the complex patterns
+        assert complex_subquery.query.filters == ()
+
+    def test_callable_and_module_level_helper_agree(self, example1_query):
+        assert IDENTIFIER(example1_query).predicates == identify_complex_subquery(example1_query).predicates
+
+    def test_identifier_is_linear_in_patterns(self, example1_query):
+        """A smoke check of the O(n) claim: identifying a query with many
+        duplicated patterns is still instantaneous and returns all of them."""
+        text = "SELECT ?p WHERE { " + " ".join(
+            f"?p y:wasBornIn ?c{i % 3} . ?x{i % 3} y:livesIn ?c{i % 3} ." for i in range(30)
+        ) + " }"
+        complex_subquery = IDENTIFIER.identify(parse_query(text))
+        assert complex_subquery is not None
+        assert len(complex_subquery.patterns) >= 30

@@ -1,0 +1,132 @@
+"""Unit tests for the query processor (Algorithm 3) and the DualStore facade."""
+
+import pytest
+
+from repro.core import (
+    DualStore,
+    DotilConfig,
+    ROUTE_GRAPH,
+    ROUTE_RELATIONAL,
+    ROUTE_SPLIT,
+)
+from repro.errors import TuningError
+from repro.rdf import Triple, YAGO
+from repro.sparql import parse_query
+
+BORN = YAGO.term("wasBornIn")
+ADVISOR = YAGO.term("hasAcademicAdvisor")
+MARRIED = YAGO.term("isMarriedTo")
+GIVEN = YAGO.term("hasGivenName")
+FAMILY = YAGO.term("hasFamilyName")
+
+
+@pytest.fixture()
+def dual(mini_kg):
+    store = DualStore(storage_budget=1000)
+    store.load(mini_kg)
+    return store
+
+
+class TestRouting:
+    def test_query_without_complex_subquery_goes_relational(self, dual):
+        query = parse_query("SELECT ?n WHERE { ?p y:hasGivenName ?n . }")
+        processed = dual.run_query(query)
+        assert processed.route == ROUTE_RELATIONAL
+
+    def test_case3_uncovered_complex_subquery_goes_relational(self, dual, advisor_query):
+        processed = dual.run_query(advisor_query)
+        assert processed.route == ROUTE_RELATIONAL
+        assert processed.record.had_complex_subquery
+
+    def test_case1_fully_covered_query_goes_graph(self, dual, advisor_query):
+        dual.transfer_partitions([BORN, ADVISOR])
+        processed = dual.run_query(advisor_query)
+        assert processed.route == ROUTE_GRAPH
+        assert processed.record.graph_seconds > 0
+        assert processed.record.relational_seconds == 0
+
+    def test_case2_split_plan(self, dual, example1_query):
+        dual.transfer_partitions([BORN, ADVISOR, MARRIED])
+        processed = dual.run_query(example1_query)
+        assert processed.route == ROUTE_SPLIT
+        assert processed.record.graph_seconds > 0
+        assert processed.record.relational_seconds > 0
+        assert processed.record.seconds == pytest.approx(
+            processed.record.graph_seconds
+            + processed.record.relational_seconds
+            + processed.record.migration_seconds
+        )
+
+    def test_partial_coverage_of_complex_subquery_falls_back_to_relational(self, dual, example1_query):
+        dual.transfer_partitions([BORN, ADVISOR])  # isMarriedTo missing
+        assert dual.run_query(example1_query).route == ROUTE_RELATIONAL
+
+
+class TestAnswerEquivalence:
+    """Whatever the route, the answers must match the relational-only answers."""
+
+    @pytest.mark.parametrize("transfers", [[], [BORN, ADVISOR], [BORN, ADVISOR, MARRIED, GIVEN, FAMILY]])
+    def test_advisor_query(self, mini_kg, advisor_query, transfers):
+        baseline = DualStore(storage_budget=1000)
+        baseline.load(mini_kg)
+        expected = baseline.run_query(advisor_query).result.distinct_rows()
+
+        dual = DualStore(storage_budget=1000)
+        dual.load(mini_kg)
+        dual.transfer_partitions(transfers)
+        assert dual.run_query(advisor_query).result.distinct_rows() == expected
+
+    @pytest.mark.parametrize("transfers", [[], [BORN, ADVISOR, MARRIED]])
+    def test_example1_query(self, mini_kg, example1_query, transfers):
+        baseline = DualStore(storage_budget=1000)
+        baseline.load(mini_kg)
+        expected = baseline.run_query(example1_query).result.distinct_rows()
+
+        dual = DualStore(storage_budget=1000)
+        dual.load(mini_kg)
+        dual.transfer_partitions(transfers)
+        assert dual.run_query(example1_query).result.distinct_rows() == expected
+
+
+class TestDualStoreFacade:
+    def test_run_query_requires_load(self):
+        with pytest.raises(TuningError):
+            DualStore().run_query(parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?c . }"))
+
+    def test_budget_defaults_to_r_bg_fraction(self, mini_kg):
+        dual = DualStore(config=DotilConfig(r_bg=0.5))
+        dual.load(mini_kg)
+        assert dual.storage_budget == int(0.5 * len(mini_kg))
+
+    def test_explicit_budget_overrides_fraction(self, mini_kg):
+        dual = DualStore(config=DotilConfig(r_bg=0.5), storage_budget=3)
+        dual.load(mini_kg)
+        assert dual.storage_budget == 3
+
+    def test_transfer_and_evict_update_design_and_coverage(self, dual):
+        assert dual.graph_coverage() == 0.0
+        seconds = dual.transfer_partition(BORN)
+        assert seconds > 0
+        assert dual.design.covers([BORN])
+        assert dual.graph_coverage() > 0
+        dual.evict_partition(BORN)
+        assert dual.graph_coverage() == 0.0
+        assert dual.transfer_log[0] == ("transfer", BORN)
+        assert dual.transfer_log[-1] == ("evict", BORN)
+
+    def test_insert_updates_partition_sizes(self, dual):
+        before = dual.partition_sizes()[BORN]
+        dual.insert([Triple(YAGO.term("NewPerson"), BORN, YAGO.term("Berlin"))])
+        assert dual.partition_sizes()[BORN] == before + 1
+
+    def test_graph_cost_and_counterfactual(self, dual, advisor_query):
+        dual.transfer_partitions([BORN, ADVISOR])
+        c1, result = dual.graph_cost(advisor_query)
+        assert c1 > 0 and len(result.variables) == 1
+        capped = dual.counterfactual_relational_cost(advisor_query, cap_seconds=c1 * 3.5)
+        assert 0 < capped <= c1 * 3.5
+
+    def test_counterfactual_with_tiny_cap_returns_the_cap(self, dual, advisor_query):
+        dual.transfer_partitions([BORN, ADVISOR])
+        cap = 1e-6
+        assert dual.counterfactual_relational_cost(advisor_query, cap_seconds=cap) == pytest.approx(cap)

@@ -1,0 +1,165 @@
+"""Unit tests for the Q-learning machinery and the dual-store design objects."""
+
+import pytest
+
+from repro.core import (
+    ACTION_KEEP,
+    ACTION_MOVE,
+    DualStoreDesign,
+    QMatrix,
+    QTable,
+    STATE_GRAPH,
+    STATE_RELATIONAL,
+    TriplePartition,
+)
+from repro.errors import TuningError, UnknownPartitionError
+from repro.rdf import YAGO
+
+BORN = YAGO.term("wasBornIn")
+ADVISOR = YAGO.term("hasAcademicAdvisor")
+NAME = YAGO.term("hasGivenName")
+
+
+class TestQMatrix:
+    def test_initial_matrix_is_zero_and_cold(self):
+        matrix = QMatrix()
+        assert matrix.flatten() == (0.0, 0.0, 0.0, 0.0)
+        assert matrix.is_cold()
+        assert matrix.total() == 0.0
+
+    def test_update_transfer_entry_follows_equation_4(self):
+        matrix = QMatrix()
+        new_value = matrix.update(STATE_RELATIONAL, ACTION_MOVE, reward=10.0, alpha=0.5, gamma=0.5)
+        # Q(0,1) = (1-0.5)*0 + 0.5*(10 + 0.5*max(Q[1,:])) = 5.0
+        assert new_value == pytest.approx(5.0)
+        assert not matrix.is_cold()
+
+    def test_update_uses_next_state_future_value(self):
+        matrix = QMatrix()
+        matrix.set(STATE_GRAPH, ACTION_KEEP, 4.0)
+        new_value = matrix.update(STATE_RELATIONAL, ACTION_MOVE, reward=10.0, alpha=0.5, gamma=0.5)
+        # max over next state (graph) is 4.0 -> 0.5*(10 + 0.5*4) = 6.0
+        assert new_value == pytest.approx(6.0)
+
+    def test_keep_in_graph_accumulates(self):
+        matrix = QMatrix()
+        first = matrix.update(STATE_GRAPH, ACTION_KEEP, reward=2.0, alpha=0.5, gamma=0.5)
+        second = matrix.update(STATE_GRAPH, ACTION_KEEP, reward=2.0, alpha=0.5, gamma=0.5)
+        assert second > first
+
+    def test_pinned_entries_stay_zero(self):
+        matrix = QMatrix()
+        matrix.update(STATE_RELATIONAL, ACTION_KEEP, reward=100.0, alpha=0.5, gamma=0.5)
+        matrix.update(STATE_GRAPH, ACTION_MOVE, reward=100.0, alpha=0.5, gamma=0.5)
+        assert matrix.get(STATE_RELATIONAL, ACTION_KEEP) == 0.0
+        assert matrix.get(STATE_GRAPH, ACTION_MOVE) == 0.0
+
+    def test_alpha_zero_means_no_learning_alpha_one_means_full_replacement(self):
+        slow = QMatrix()
+        slow.set(STATE_RELATIONAL, ACTION_MOVE, 3.0)
+        fast = QMatrix()
+        fast.set(STATE_RELATIONAL, ACTION_MOVE, 3.0)
+        slow.update(STATE_RELATIONAL, ACTION_MOVE, reward=10.0, alpha=0.0001, gamma=0.0)
+        fast.update(STATE_RELATIONAL, ACTION_MOVE, reward=10.0, alpha=1.0, gamma=0.0)
+        assert slow.get(STATE_RELATIONAL, ACTION_MOVE) == pytest.approx(3.0, abs=0.01)
+        assert fast.get(STATE_RELATIONAL, ACTION_MOVE) == pytest.approx(10.0)
+
+    def test_transfer_margin_and_eviction_key(self):
+        matrix = QMatrix()
+        matrix.set(STATE_RELATIONAL, ACTION_MOVE, 2.0)
+        matrix.set(STATE_GRAPH, ACTION_KEEP, 3.0)
+        assert matrix.transfer_margin() == pytest.approx(2.0)
+        assert matrix.eviction_key() == pytest.approx(-3.0)
+
+    def test_invalid_state_or_action_raises(self):
+        with pytest.raises(TuningError):
+            QMatrix().get(2, 0)
+        with pytest.raises(TuningError):
+            QMatrix().update(0, 5, 1.0, 0.5, 0.5)
+
+    def test_updates_counter(self):
+        matrix = QMatrix()
+        matrix.update(STATE_RELATIONAL, ACTION_MOVE, 1.0, 0.5, 0.5)
+        matrix.update(STATE_GRAPH, ACTION_KEEP, 1.0, 0.5, 0.5)
+        assert matrix.updates == 2
+
+
+class TestQTable:
+    def test_matrix_is_created_lazily_per_partition(self):
+        table = QTable()
+        assert BORN not in table
+        matrix = table.matrix(BORN)
+        assert BORN in table
+        assert table.matrix(BORN) is matrix
+        assert len(table) == 1
+
+    def test_summed_adds_elementwise(self):
+        table = QTable()
+        table.matrix(BORN).set(STATE_RELATIONAL, ACTION_MOVE, 1.0)
+        table.matrix(ADVISOR).set(STATE_RELATIONAL, ACTION_MOVE, 2.0)
+        table.matrix(ADVISOR).set(STATE_GRAPH, ACTION_KEEP, 4.0)
+        assert table.summed() == (0.0, 3.0, 4.0, 0.0)
+        assert table.total() == pytest.approx(7.0)
+
+    def test_reset(self):
+        table = QTable()
+        table.matrix(BORN)
+        table.reset()
+        assert len(table) == 0
+
+
+class TestDualStoreDesign:
+    def _design(self, budget=10):
+        return DualStoreDesign.from_sizes({BORN: 7, ADVISOR: 3, NAME: 5}, storage_budget=budget)
+
+    def test_relational_partitions_always_hold_everything(self):
+        design = self._design()
+        assert design.relational_partitions == frozenset({BORN, ADVISOR, NAME})
+        assert design.graph_partitions == frozenset()
+
+    def test_transfer_and_evict_bookkeeping(self):
+        design = self._design()
+        design.mark_transferred(BORN)
+        assert design.graph_partitions == frozenset({BORN})
+        assert design.used_budget() == 7
+        assert design.remaining_budget() == 3
+        design.mark_evicted(BORN)
+        assert design.used_budget() == 0
+
+    def test_fits(self):
+        design = self._design(budget=10)
+        assert design.fits([BORN, ADVISOR])
+        assert not design.fits([BORN, ADVISOR, NAME])
+        design.mark_transferred(BORN)
+        assert design.fits([BORN, ADVISOR])  # already-resident partitions are free
+
+    def test_covers(self):
+        design = self._design()
+        design.mark_transferred(BORN)
+        assert design.covers([BORN])
+        assert not design.covers([BORN, NAME])
+
+    def test_unknown_partition_raises(self):
+        design = self._design()
+        with pytest.raises(UnknownPartitionError):
+            design.mark_transferred(YAGO.term("unknown"))
+        with pytest.raises(UnknownPartitionError):
+            design.mark_evicted(BORN)
+        with pytest.raises(UnknownPartitionError):
+            design.size_of(YAGO.term("unknown"))
+
+    def test_constructor_validates_graph_partitions(self):
+        with pytest.raises(UnknownPartitionError):
+            DualStoreDesign.from_sizes({BORN: 7}, storage_budget=10, in_graph_store=[NAME])
+
+    def test_copy_is_independent(self):
+        design = self._design()
+        clone = design.copy()
+        clone.mark_transferred(BORN)
+        assert design.graph_partitions == frozenset()
+
+    def test_partitions_iterates_sorted_metadata(self):
+        design = self._design()
+        partitions = list(design.partitions())
+        assert all(isinstance(p, TriplePartition) for p in partitions)
+        assert [p.size for p in partitions] == [3, 5, 7] or len(partitions) == 3

@@ -1,0 +1,166 @@
+"""Unit tests for DOTIL (Algorithms 1 and 2)."""
+
+import pytest
+
+from repro.core import (
+    ACTION_KEEP,
+    ACTION_MOVE,
+    Dotil,
+    DotilConfig,
+    DualStore,
+    STATE_GRAPH,
+    STATE_RELATIONAL,
+)
+from repro.errors import TuningError
+from repro.rdf import YAGO
+from repro.sparql import parse_query
+
+BORN = YAGO.term("wasBornIn")
+ADVISOR = YAGO.term("hasAcademicAdvisor")
+MARRIED = YAGO.term("isMarriedTo")
+GIVEN = YAGO.term("hasGivenName")
+
+ALWAYS_TRANSFER = DotilConfig(prob=1.0)
+NEVER_TRANSFER = DotilConfig(prob=0.0)
+
+
+def make_dual(mini_kg, budget=1000):
+    dual = DualStore(storage_budget=budget)
+    dual.load(mini_kg)
+    return dual
+
+
+def complex_of(dual, query):
+    complex_subquery = dual.identify(query)
+    assert complex_subquery is not None
+    return complex_subquery
+
+
+class TestColdStartDecision:
+    def test_prob_one_always_transfers_cold_partitions(self, mini_kg, advisor_query):
+        dual = make_dual(mini_kg)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        report = tuner.tune([complex_of(dual, advisor_query)])
+        assert set(report.transferred) == {BORN, ADVISOR}
+        assert dual.design.covers([BORN, ADVISOR])
+        assert report.trained_subqueries == 1
+        assert report.import_seconds > 0
+
+    def test_prob_zero_never_transfers_cold_partitions(self, mini_kg, advisor_query):
+        dual = make_dual(mini_kg)
+        tuner = Dotil(dual, NEVER_TRANSFER)
+        report = tuner.tune([complex_of(dual, advisor_query)])
+        assert report.transferred == []
+        assert dual.design.graph_partitions == frozenset()
+
+    def test_transfer_decision_is_deterministic_for_a_seed(self, mini_kg, advisor_query):
+        outcomes = []
+        for _ in range(2):
+            dual = make_dual(mini_kg)
+            tuner = Dotil(dual, DotilConfig(prob=0.5, seed=123))
+            report = tuner.tune([complex_of(dual, advisor_query)] * 3)
+            outcomes.append(tuple(sorted(p.value for p in report.transferred)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestLearning:
+    def test_transfer_updates_q01_with_positive_reward(self, mini_kg, advisor_query):
+        dual = make_dual(mini_kg)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        tuner.tune([complex_of(dual, advisor_query)])
+        for predicate in (BORN, ADVISOR):
+            assert tuner.qtable.matrix(predicate).get(STATE_RELATIONAL, ACTION_MOVE) > 0
+
+    def test_resident_partitions_accumulate_keep_reward(self, mini_kg, advisor_query):
+        dual = make_dual(mini_kg)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        subquery = complex_of(dual, advisor_query)
+        tuner.tune([subquery])
+        first = tuner.qtable.matrix(BORN).get(STATE_GRAPH, ACTION_KEEP)
+        tuner.tune([subquery])
+        second = tuner.qtable.matrix(BORN).get(STATE_GRAPH, ACTION_KEEP)
+        assert second > first >= 0
+
+    def test_reward_is_amortised_by_predicate_proportion(self, mini_kg, example1_query):
+        dual = make_dual(mini_kg)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        tuner.tune([complex_of(dual, example1_query)])
+        # wasBornIn accounts for 3/5 of the complex subquery, the others 1/5 each,
+        # so its learned Q(0,1) must be the largest.
+        born_value = tuner.qtable.matrix(BORN).get(STATE_RELATIONAL, ACTION_MOVE)
+        advisor_value = tuner.qtable.matrix(ADVISOR).get(STATE_RELATIONAL, ACTION_MOVE)
+        married_value = tuner.qtable.matrix(MARRIED).get(STATE_RELATIONAL, ACTION_MOVE)
+        assert born_value > advisor_value
+        assert born_value > married_value
+        assert advisor_value == pytest.approx(married_value, rel=0.2)
+
+    def test_qmatrix_sum_reported(self, mini_kg, advisor_query):
+        dual = make_dual(mini_kg)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        report = tuner.tune([complex_of(dual, advisor_query)])
+        assert sum(report.qmatrix_sum) > 0
+        assert report.qmatrix_sum == tuner.qtable.summed()
+
+    def test_proportions_helper(self, mini_kg, example1_query):
+        dual = make_dual(mini_kg)
+        proportions = Dotil._predicate_proportions(complex_of(dual, example1_query).query)
+        assert proportions[BORN] == pytest.approx(3 / 5)
+        assert proportions[ADVISOR] == pytest.approx(1 / 5)
+        assert sum(proportions.values()) == pytest.approx(1.0)
+
+
+class TestBudgetAndEviction:
+    def test_partition_set_larger_than_budget_is_never_transferred(self, mini_kg, advisor_query):
+        dual = make_dual(mini_kg, budget=5)  # wasBornIn alone has 7 triples
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        report = tuner.tune([complex_of(dual, advisor_query)])
+        assert report.transferred == []
+        assert dual.design.graph_partitions == frozenset()
+
+    def test_eviction_makes_room_for_new_partitions(self, mini_kg):
+        # Budget 11 fits wasBornIn+hasAcademicAdvisor (7+3) but adding
+        # isMarriedTo (2) requires evicting something first.
+        dual = make_dual(mini_kg, budget=11)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        advisor_subquery = complex_of(dual, parse_query(
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c . }"
+        ))
+        marriage_subquery = complex_of(dual, parse_query(
+            "SELECT ?p WHERE { ?p y:isMarriedTo ?q . ?p y:wasBornIn ?c . ?q y:wasBornIn ?c . }"
+        ))
+        tuner.tune([advisor_subquery])
+        assert dual.design.covers([BORN, ADVISOR])
+        report = tuner.tune([marriage_subquery])
+        # advisor had to give way (its keep-reward is lowest among non-needed residents)
+        assert ADVISOR in report.evicted
+        assert dual.design.covers([BORN, MARRIED])
+
+    def test_eviction_never_removes_partitions_needed_by_the_subquery(self, mini_kg):
+        dual = make_dual(mini_kg, budget=12)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        marriage_subquery = complex_of(dual, parse_query(
+            "SELECT ?p WHERE { ?p y:isMarriedTo ?q . ?p y:wasBornIn ?c . ?q y:wasBornIn ?c . }"
+        ))
+        tuner.tune([marriage_subquery])
+        report = tuner.tune([marriage_subquery])
+        assert BORN not in report.evicted
+        assert MARRIED not in report.evicted
+
+
+class TestGuards:
+    def test_tune_requires_loaded_dual_store(self):
+        dual = DualStore()
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        with pytest.raises(TuningError):
+            tuner.tune([])
+
+    def test_empty_batch_is_a_no_op(self, mini_kg):
+        dual = make_dual(mini_kg)
+        report = Dotil(dual, ALWAYS_TRANSFER).tune([])
+        assert report.transferred == [] and report.trained_subqueries == 0
+
+    def test_warm_up_delegates_to_tune(self, mini_kg, advisor_query):
+        dual = make_dual(mini_kg)
+        tuner = Dotil(dual, ALWAYS_TRANSFER)
+        report = tuner.warm_up([complex_of(dual, advisor_query)])
+        assert set(report.transferred) == {BORN, ADVISOR}

@@ -1,0 +1,147 @@
+"""Integration-level tests for the store variants and the workload runner."""
+
+import pytest
+
+from repro.core import (
+    Dotil,
+    DotilConfig,
+    RDBGDB,
+    RDBOnly,
+    RDBViews,
+    StaticTuner,
+    improvement_percent,
+    run_workload,
+    run_workload_repeated,
+)
+from repro.errors import WorkloadError
+
+
+@pytest.fixture(scope="module")
+def batches(yago_queries):
+    return yago_queries.batches("ordered")
+
+
+class TestRDBOnly:
+    def test_processes_every_query_relationally(self, yago_dataset, batches):
+        variant = RDBOnly().load(yago_dataset.triples)
+        result = run_workload(variant, batches)
+        assert result.record_count() == sum(len(b) for b in batches)
+        assert all(r.route == "relational" for batch in result.batches for r in batch.records)
+        assert result.total_tti > 0
+
+    def test_flags_complex_queries(self, yago_dataset, batches):
+        variant = RDBOnly().load(yago_dataset.triples)
+        batch = variant.run_batch(batches[0])
+        assert any(record.had_complex_subquery for record in batch.records)
+
+
+class TestRDBViews:
+    def test_views_materialise_after_offline_phase(self, yago_dataset, batches):
+        variant = RDBViews().load(yago_dataset.triples)
+        variant.run_batch(batches[0])
+        variant.offline_phase(batches[0])
+        assert variant.store.view_manager is not None
+        assert len(variant.store.view_manager) >= 1
+
+    def test_views_respect_budget_fraction(self, yago_dataset, batches):
+        variant = RDBViews(view_budget_fraction=0.25).load(yago_dataset.triples)
+        variant.offline_phase(batches[0])
+        assert variant.store.view_manager.total_rows() <= int(0.25 * len(yago_dataset.triples))
+
+    def test_repeated_identical_batch_hits_views(self, yago_dataset, batches):
+        variant = RDBViews().load(yago_dataset.triples)
+        variant.run_batch(batches[0])
+        variant.offline_phase(batches[0])
+        second_pass = variant.run_batch(batches[0])
+        assert "view" in second_pass.route_counts()
+
+    def test_answers_match_rdb_only(self, yago_dataset, batches):
+        views = RDBViews().load(yago_dataset.triples)
+        only = RDBOnly().load(yago_dataset.triples)
+        views.run_batch(batches[0])
+        views.offline_phase(batches[0])
+        for query in batches[0]:
+            expected = only.store.execute(query).distinct_rows()
+            view = None
+            complex_subquery = views.identifier.identify(query)
+            if complex_subquery is not None:
+                view = views.store.view_manager.match(complex_subquery.patterns)
+            if view is not None:
+                assert views.store.execute_with_view(query, view).distinct_rows() == expected
+
+
+class TestRDBGDB:
+    def test_offline_phase_transfers_partitions(self, yago_dataset, batches):
+        variant = RDBGDB(config=DotilConfig(prob=1.0)).load(yago_dataset.triples)
+        variant.run_batch(batches[0])
+        report = variant.offline_phase(batches[0])
+        assert report is not None
+        assert report.transferred
+        assert variant.graph_coverage() > 0
+
+    def test_later_batches_use_the_graph_store(self, yago_dataset, batches):
+        variant = RDBGDB(config=DotilConfig(prob=1.0)).load(yago_dataset.triples)
+        result = run_workload(variant, batches)
+        later_routes = set()
+        for batch in result.batches[1:]:
+            later_routes.update(batch.route_counts())
+        assert {"split", "graph"} & later_routes
+
+    def test_answers_match_rdb_only_on_every_route(self, yago_dataset, batches):
+        gdb = RDBGDB(config=DotilConfig(prob=1.0)).load(yago_dataset.triples)
+        only = RDBOnly().load(yago_dataset.triples)
+        run_workload(gdb, batches)  # warm the graph store
+        for query in [q for batch in batches for q in batch]:
+            expected = only.store.execute(query).distinct_rows()
+            assert gdb.dual.run_query(query).result.distinct_rows() == expected
+
+    def test_improves_over_rdb_only_when_warm(self, yago_dataset, batches):
+        only = run_workload_repeated(RDBOnly().load(yago_dataset.triples), batches, repetitions=3, discard=1)
+        gdb = run_workload_repeated(
+            RDBGDB(config=DotilConfig(prob=1.0)).load(yago_dataset.triples),
+            batches,
+            repetitions=3,
+            discard=1,
+        )
+        assert gdb.total_tti < only.total_tti
+        assert improvement_percent(only.total_tti, gdb.total_tti) > 5.0
+
+    def test_custom_tuner_factory(self, yago_dataset, batches):
+        variant = RDBGDB(tuner_factory=lambda dual: StaticTuner(dual)).load(yago_dataset.triples)
+        run_workload(variant, batches)
+        assert variant.graph_coverage() == 0.0
+        assert variant.qmatrix_sum() == (0.0, 0.0, 0.0, 0.0)
+
+    def test_qmatrix_sum_grows_with_dotil(self, yago_dataset, batches):
+        variant = RDBGDB(config=DotilConfig(prob=1.0)).load(yago_dataset.triples)
+        run_workload(variant, batches)
+        assert isinstance(variant.tuner, Dotil)
+        assert sum(variant.qmatrix_sum()) > 0
+
+
+class TestRunner:
+    def test_run_workload_requires_batches(self, yago_dataset):
+        with pytest.raises(WorkloadError):
+            run_workload(RDBOnly().load(yago_dataset.triples), [])
+
+    def test_repeated_run_validates_protocol(self, yago_dataset, batches):
+        variant = RDBOnly().load(yago_dataset.triples)
+        with pytest.raises(WorkloadError):
+            run_workload_repeated(variant, batches, repetitions=0)
+        with pytest.raises(WorkloadError):
+            run_workload_repeated(variant, batches, repetitions=2, discard=2)
+
+    def test_repeated_run_averages_batches(self, yago_dataset, batches):
+        variant = RDBOnly().load(yago_dataset.triples)
+        averaged = run_workload_repeated(variant, batches, repetitions=3, discard=1)
+        single = run_workload(RDBOnly().load(yago_dataset.triples), batches)
+        assert len(averaged.batches) == len(single.batches)
+        # RDB-only is stateless across repetitions, so the average equals a single pass.
+        assert averaged.total_tti == pytest.approx(single.total_tti)
+
+    def test_workload_result_summary(self, yago_dataset, batches):
+        result = run_workload(RDBOnly().load(yago_dataset.triples), batches, label="demo")
+        summary = result.summary()
+        assert summary["batches"] == len(batches)
+        assert summary["total_tti"] == pytest.approx(result.total_tti)
+        assert result.label == "demo"

@@ -1,0 +1,175 @@
+"""Tests for the experiment drivers (each table/figure of the paper)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    PARAMETER_GRID,
+    TEST_SETTINGS,
+    best_value,
+    build_suite,
+    format_cold_start,
+    format_parameter_sweep,
+    format_resource_slowdown,
+    format_store_variants,
+    format_table1,
+    format_tuner_comparison,
+    run_cold_start,
+    run_counterfactual_cap_ablation,
+    run_parameter_sweep,
+    run_planner_ablation,
+    run_resource_slowdown,
+    run_resource_timeline,
+    run_reward_split_ablation,
+    run_store_variants,
+    run_table1,
+    run_tuner_comparison,
+)
+from repro.errors import ConfigError
+
+
+class TestSettings:
+    def test_defaults_are_valid(self):
+        assert TEST_SETTINGS.repetitions >= 1
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentSettings(yago_triples=10)
+        with pytest.raises(ConfigError):
+            ExperimentSettings(repetitions=1, discard=1)
+
+    def test_scaled(self):
+        scaled = TEST_SETTINGS.scaled(2.0)
+        assert scaled.yago_triples == TEST_SETTINGS.yago_triples * 2
+
+
+class TestSuite:
+    def test_build_suite_for_selected_groups(self):
+        suite = build_suite(TEST_SETTINGS, groups=["YAGO", "WatDiv-C"])
+        assert suite.groups() == ["YAGO", "WatDiv-C"]
+        assert suite.dataset_for("WatDiv-C") is suite.datasets["WatDiv"]
+        assert len(suite.workload_for("YAGO")) == 20
+
+    def test_unknown_group_raises(self):
+        suite = build_suite(TEST_SETTINGS, groups=["YAGO"])
+        with pytest.raises(KeyError):
+            suite.dataset_for("Nonexistent")
+
+
+class TestTable1:
+    def test_shape_matches_paper(self):
+        rows = run_table1(base_triples=500, steps=4)
+        assert len(rows) == 4
+        assert rows[-1].relational_seconds > rows[0].relational_seconds * 2
+        assert all(row.relational_seconds > row.graph_seconds for row in rows)
+        assert rows[-1].speedup > 1.0
+        text = format_table1(rows)
+        assert "relational" in text and "graph" in text
+
+
+class TestStoreVariants:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_store_variants(TEST_SETTINGS, groups=["YAGO"], orders=["ordered"])
+
+    def test_every_variant_is_measured(self, report):
+        comparison = report.find("YAGO", "ordered")
+        assert set(comparison.results) == {"RDB-only", "RDB-views", "RDB-GDB"}
+        assert all(len(r.batches) == 5 for r in comparison.results.values())
+
+    def test_rdb_gdb_wins_on_yago(self, report):
+        comparison = report.find("YAGO", "ordered")
+        assert comparison.total_tti("RDB-GDB") < comparison.total_tti("RDB-only")
+        assert comparison.improvement_over("RDB-only") > 0
+
+    def test_report_aggregates_and_formatting(self, report):
+        assert report.average_improvement("RDB-only") > 0
+        assert report.max_improvement("RDB-only") >= report.average_improvement("RDB-only")
+        assert "RDB-GDB" in format_store_variants(report)
+
+    def test_unknown_lookup_raises(self, report):
+        with pytest.raises(KeyError):
+            report.find("YAGO", "sideways")
+
+
+class TestParameterSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_parameter_sweep(TEST_SETTINGS, parameters=["alpha", "lam"])
+
+    def test_grid_is_fully_covered(self, rows):
+        alphas = [row.value for row in rows if row.parameter == "alpha"]
+        assert alphas == list(PARAMETER_GRID["alpha"])
+
+    def test_rows_have_positive_tti(self, rows):
+        assert all(row.tti > 0 for row in rows)
+
+    def test_best_value_picks_lowest_tti(self, rows):
+        best = best_value(rows, "alpha")
+        best_tti = min(row.tti for row in rows if row.parameter == "alpha")
+        assert any(row.value == best and row.tti == best_tti for row in rows)
+
+    def test_best_value_unknown_parameter_raises(self, rows):
+        with pytest.raises(KeyError):
+            best_value(rows, "nope")
+
+    def test_formatting(self, rows):
+        text = format_parameter_sweep(rows)
+        assert "alpha" in text and "Q-matrix" in text
+
+
+class TestColdStartAndResources:
+    def test_cold_start_shape(self):
+        points = run_cold_start(TEST_SETTINGS, orders=["ordered"])
+        assert len(points) == 5
+        assert points[0].graph_share < 0.2
+        assert max(p.graph_share for p in points) > points[0].graph_share
+        assert "graph share" in format_cold_start(points)
+
+    def test_resource_slowdown_ordering(self):
+        rows = run_resource_slowdown(TEST_SETTINGS)
+        by_key = {(r.resource, r.spare_fraction): r.slowdown_percent for r in rows}
+        assert by_key[("cpu", 0.2)] >= by_key[("cpu", 0.4)]
+        assert by_key[("io", 0.2)] < by_key[("cpu", 0.2)]
+        assert "slowdown" in format_resource_slowdown(rows)
+
+    def test_resource_timeline(self):
+        samples = run_resource_timeline(TEST_SETTINGS)
+        assert len(samples) == 5
+        assert all(s.time >= 0 for s in samples)
+
+
+class TestTunerComparisonAndAblations:
+    def test_tuner_comparison_on_one_group(self):
+        # Use the paper's warm-up protocol (discard the cold pass) so the
+        # comparison is between steady-state designs, as in Figure 8.
+        settings = ExperimentSettings(
+            yago_triples=TEST_SETTINGS.yago_triples,
+            watdiv_triples=TEST_SETTINGS.watdiv_triples,
+            bio2rdf_triples=TEST_SETTINGS.bio2rdf_triples,
+            repetitions=3,
+            discard=1,
+            seed=TEST_SETTINGS.seed,
+        )
+        suite = build_suite(settings, groups=["YAGO"])
+        comparisons = run_tuner_comparison(
+            settings, suite=suite, groups=[("YAGO", "YAGO", "ordered")]
+        )
+        assert len(comparisons) == 1
+        totals = {name: comparisons[0].total_tti(name) for name in comparisons[0].results}
+        assert set(totals) == {"DOTIL", "one-off", "LRU", "ideal"}
+        assert totals["DOTIL"] <= totals["one-off"] * 1.1
+        assert totals["DOTIL"] <= totals["LRU"] * 1.1
+        assert "DOTIL" in format_tuner_comparison(comparisons)
+
+    def test_reward_split_ablation_runs(self):
+        result = run_reward_split_ablation(TEST_SETTINGS)
+        assert result.paper_choice > 0 and result.ablated > 0
+
+    def test_counterfactual_cap_bounds_offline_cost(self):
+        result = run_counterfactual_cap_ablation(TEST_SETTINGS)
+        assert result.paper_choice <= result.ablated + 1e-9
+
+    def test_planner_ablation_prefers_greedy_order(self):
+        result = run_planner_ablation(TEST_SETTINGS)
+        assert result.paper_choice <= result.ablated * 1.05

@@ -1,0 +1,193 @@
+"""Unit tests for the property graph, the traversal matcher, and the graph store."""
+
+import pytest
+
+from repro.errors import StorageBudgetExceeded, StorageError, UnknownPartitionError
+from repro.graphstore import GraphStore, PropertyGraph
+from repro.rdf import Literal, Triple, YAGO
+from repro.relstore import RelationalStore
+from repro.sparql import parse_query
+
+BORN = YAGO.term("wasBornIn")
+ADVISOR = YAGO.term("hasAcademicAdvisor")
+MARRIED = YAGO.term("isMarriedTo")
+GIVEN = YAGO.term("hasGivenName")
+FAMILY = YAGO.term("hasFamilyName")
+
+
+class TestPropertyGraph:
+    def test_add_edge_deduplicates(self):
+        graph = PropertyGraph()
+        assert graph.add_edge(YAGO.Alice, BORN, YAGO.Berlin)
+        assert not graph.add_edge(YAGO.Alice, BORN, YAGO.Berlin)
+        assert graph.edge_count() == 1
+        assert graph.vertex_count() == 2
+
+    def test_adjacency_lists(self, mini_kg):
+        graph = PropertyGraph()
+        graph.add_triples(mini_kg)
+        assert graph.out_neighbours(YAGO.term("Alice"), BORN) == [YAGO.term("Berlin")]
+        assert set(graph.in_neighbours(YAGO.term("Berlin"), BORN)) == {
+            YAGO.term("Alice"),
+            YAGO.term("Bob"),
+            YAGO.term("Dave"),
+        }
+        assert graph.out_neighbours(YAGO.term("Alice"), MARRIED) == []
+
+    def test_edges_by_predicate(self, mini_kg):
+        graph = PropertyGraph()
+        graph.add_triples(mini_kg)
+        assert len(list(graph.edges(BORN))) == 7
+        assert graph.predicate_count(BORN) == 7
+
+    def test_remove_predicate_cleans_up(self, mini_kg):
+        graph = PropertyGraph()
+        graph.add_triples(mini_kg)
+        removed = graph.remove_predicate(MARRIED)
+        assert removed == 2
+        assert graph.predicate_count(MARRIED) == 0
+        assert list(graph.edges(MARRIED)) == []
+        assert MARRIED not in graph.predicates()
+
+    def test_remove_predicate_drops_isolated_vertices(self):
+        graph = PropertyGraph()
+        graph.add_edge(YAGO.Alice, MARRIED, YAGO.Bob)
+        graph.remove_predicate(MARRIED)
+        assert graph.vertex_count() == 0
+
+    def test_degree_and_contains(self):
+        graph = PropertyGraph()
+        graph.add_edge(YAGO.Alice, BORN, YAGO.Berlin)
+        graph.add_edge(YAGO.Bob, MARRIED, YAGO.Alice)
+        assert graph.degree(YAGO.Alice) == 2
+        assert (YAGO.Alice, BORN, YAGO.Berlin) in graph
+        assert graph.has_vertex(YAGO.Berlin)
+
+    def test_triples_round_trip(self, mini_kg):
+        graph = PropertyGraph()
+        graph.add_triples(mini_kg)
+        assert set(graph.triples()) == set(mini_kg)
+
+
+class TestGraphStorePartitions:
+    def _partition(self, mini_kg, predicate):
+        return [t for t in mini_kg if t.predicate == predicate]
+
+    def test_load_partition_and_coverage(self, mini_kg):
+        store = GraphStore(storage_budget=100)
+        seconds = store.load_partition(BORN, self._partition(mini_kg, BORN))
+        assert seconds > 0
+        assert store.covers({BORN})
+        assert not store.covers({BORN, ADVISOR})
+        assert store.used_capacity() == 7
+        assert store.partition_size(BORN) == 7
+
+    def test_budget_is_enforced(self, mini_kg):
+        store = GraphStore(storage_budget=3)
+        with pytest.raises(StorageBudgetExceeded):
+            store.load_partition(BORN, self._partition(mini_kg, BORN))
+        assert store.used_capacity() == 0
+
+    def test_unbounded_store_accepts_everything(self, mini_kg):
+        store = GraphStore(storage_budget=None)
+        for predicate in mini_kg.predicates:
+            store.load_partition(predicate, self._partition(mini_kg, predicate))
+        assert store.used_capacity() == len(mini_kg)
+        assert store.remaining_capacity() is None
+
+    def test_load_partition_rejects_foreign_triples(self, mini_kg):
+        store = GraphStore()
+        with pytest.raises(StorageError):
+            store.load_partition(BORN, self._partition(mini_kg, ADVISOR))
+
+    def test_reload_partition_is_idempotent(self, mini_kg):
+        store = GraphStore(storage_budget=50)
+        store.load_partition(BORN, self._partition(mini_kg, BORN))
+        store.load_partition(BORN, self._partition(mini_kg, BORN))
+        assert store.used_capacity() == 7
+
+    def test_evict_partition(self, mini_kg):
+        store = GraphStore(storage_budget=50)
+        store.load_partition(BORN, self._partition(mini_kg, BORN))
+        removed = store.evict_partition(BORN)
+        assert removed == 7
+        assert store.used_capacity() == 0
+        with pytest.raises(UnknownPartitionError):
+            store.evict_partition(BORN)
+
+    def test_clear(self, mini_kg):
+        store = GraphStore(storage_budget=50)
+        store.load_partition(BORN, self._partition(mini_kg, BORN))
+        store.load_partition(ADVISOR, self._partition(mini_kg, ADVISOR))
+        store.clear()
+        assert store.used_capacity() == 0
+        assert store.loaded_predicates == set()
+
+    def test_import_cost_accumulates(self, mini_kg):
+        store = GraphStore(storage_budget=50)
+        store.load_partition(BORN, self._partition(mini_kg, BORN))
+        store.load_partition(ADVISOR, self._partition(mini_kg, ADVISOR))
+        assert store.import_count == 2
+        assert store.total_import_seconds > 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(StorageError):
+            GraphStore(storage_budget=-1)
+
+
+class TestGraphStoreQueries:
+    @pytest.fixture()
+    def loaded_store(self, mini_kg):
+        store = GraphStore(storage_budget=None)
+        for predicate in mini_kg.predicates:
+            store.load_partition(predicate, [t for t in mini_kg if t.predicate == predicate])
+        return store
+
+    def test_advisor_query_matches_relational_answer(self, mini_kg, loaded_store, advisor_query):
+        relational = RelationalStore()
+        relational.load(mini_kg)
+        graph_result = loaded_store.execute(advisor_query)
+        relational_result = relational.execute(advisor_query)
+        assert graph_result.distinct_rows() == relational_result.distinct_rows()
+
+    def test_example1_query_matches_relational_answer(self, mini_kg, loaded_store, example1_query):
+        relational = RelationalStore()
+        relational.load(mini_kg)
+        assert (
+            loaded_store.execute(example1_query).distinct_rows()
+            == relational.execute(example1_query).distinct_rows()
+        )
+
+    def test_missing_partition_raises(self, mini_kg):
+        store = GraphStore(storage_budget=None)
+        store.load_partition(BORN, [t for t in mini_kg if t.predicate == BORN])
+        query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . }")
+        with pytest.raises(StorageError):
+            store.execute(query)
+
+    def test_traversal_cost_scales_with_neighbourhood_not_graph(self, mini_kg, loaded_store):
+        narrow = parse_query("SELECT ?c WHERE { <%s> y:wasBornIn ?c . }" % YAGO.term("Alice").value)
+        wide = parse_query("SELECT ?p ?c WHERE { ?p y:wasBornIn ?c . }")
+        narrow_result = loaded_store.execute(narrow)
+        wide_result = loaded_store.execute(wide)
+        assert narrow_result.counters.edges_traversed < wide_result.counters.edges_traversed
+
+    def test_filters_and_limit_in_graph_store(self, loaded_store):
+        query = parse_query(
+            'SELECT ?p ?n WHERE { ?p y:hasGivenName ?n . ?p y:wasBornIn ?c . FILTER(?n != "Eve") } LIMIT 2'
+        )
+        result = loaded_store.execute(query)
+        assert len(result) == 2
+        assert all(binding["n"] != Literal("Eve") for binding in result.bindings)
+
+    def test_graph_seconds_are_priced_by_cost_model(self, loaded_store, advisor_query):
+        result = loaded_store.execute(advisor_query)
+        assert result.seconds == pytest.approx(
+            loaded_store.cost_model.graph_query_seconds(result.counters)
+        )
+        assert result.store == "graph"
+
+    def test_pattern_order_override(self, loaded_store, advisor_query):
+        default = loaded_store.execute(advisor_query)
+        naive = loaded_store.execute(advisor_query, pattern_order=list(advisor_query.patterns))
+        assert default.distinct_rows() == naive.distinct_rows()

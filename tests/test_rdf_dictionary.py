@@ -1,0 +1,64 @@
+"""Unit tests for dictionary encoding of terms."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.rdf import IRI, Literal, TermDictionary, Triple, YAGO
+
+
+class TestTermDictionary:
+    def test_encode_assigns_dense_ids_in_first_seen_order(self):
+        dictionary = TermDictionary()
+        ids = [dictionary.encode(YAGO.term(f"e{i}")) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert len(dictionary) == 5
+
+    def test_encode_is_idempotent(self):
+        dictionary = TermDictionary()
+        first = dictionary.encode(YAGO.Alice)
+        second = dictionary.encode(YAGO.Alice)
+        assert first == second
+        assert len(dictionary) == 1
+
+    def test_decode_inverts_encode(self):
+        dictionary = TermDictionary()
+        term = Literal("42")
+        assert dictionary.decode(dictionary.encode(term)) == term
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(StorageError):
+            TermDictionary().decode(0)
+
+    def test_encode_existing_raises_for_unknown_term(self):
+        with pytest.raises(StorageError):
+            TermDictionary().encode_existing(YAGO.Alice)
+
+    def test_lookup_returns_none_for_unknown_term(self):
+        assert TermDictionary().lookup(YAGO.Alice) is None
+
+    def test_contains(self):
+        dictionary = TermDictionary()
+        dictionary.encode(YAGO.Alice)
+        assert YAGO.Alice in dictionary
+        assert YAGO.Bob not in dictionary
+
+    def test_triple_round_trip(self):
+        dictionary = TermDictionary()
+        triple = Triple(YAGO.Alice, YAGO.term("knows"), YAGO.Bob)
+        encoded = dictionary.encode_triple(triple)
+        assert dictionary.decode_triple(encoded) == triple
+
+    def test_encoding_is_deterministic_for_same_input_order(self):
+        triples = [
+            Triple(YAGO.term(f"s{i}"), YAGO.term("p"), Literal(str(i))) for i in range(10)
+        ]
+        first = list(TermDictionary().encode_triples(triples))
+        second = list(TermDictionary().encode_triples(triples))
+        assert first == second
+
+    def test_items_and_terms_are_consistent(self):
+        dictionary = TermDictionary()
+        for index in range(4):
+            dictionary.encode(IRI(f"http://x.org/{index}"))
+        assert {term_id for _term, term_id in dictionary.items()} == set(range(4))
+        assert len(list(dictionary.terms())) == 4

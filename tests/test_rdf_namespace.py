@@ -1,0 +1,75 @@
+"""Unit tests for namespaces and prefix maps."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf import DEFAULT_PREFIXES, IRI, Namespace, PrefixMap, YAGO
+
+
+class TestNamespace:
+    def test_attribute_and_item_access_mint_iris(self):
+        ns = Namespace("http://example.org/ns/")
+        assert ns.thing == IRI("http://example.org/ns/thing")
+        assert ns["other thing".replace(" ", "_")] == IRI("http://example.org/ns/other_thing")
+
+    def test_term_rejects_empty_local_name(self):
+        with pytest.raises(TermError):
+            Namespace("http://example.org/").term("")
+
+    def test_contains_and_local_name(self):
+        ns = Namespace("http://example.org/")
+        iri = ns.widget
+        assert iri in ns
+        assert ns.local_name(iri) == "widget"
+        assert "http://other.org/x" not in ns
+
+    def test_local_name_outside_namespace_raises(self):
+        with pytest.raises(TermError):
+            Namespace("http://example.org/").local_name("http://other.org/x")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(TermError):
+            Namespace("")
+
+    def test_equality_and_hash(self):
+        assert Namespace("http://x.org/") == Namespace("http://x.org/")
+        assert hash(Namespace("http://x.org/")) == hash(Namespace("http://x.org/"))
+
+
+class TestPrefixMap:
+    def test_expand_known_prefix(self):
+        assert DEFAULT_PREFIXES.expand("y:wasBornIn") == YAGO.wasBornIn
+
+    def test_expand_unknown_prefix_raises(self):
+        with pytest.raises(TermError):
+            PrefixMap().expand("nope:thing")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(TermError):
+            DEFAULT_PREFIXES.expand("wasBornIn")
+
+    def test_compact_prefers_longest_matching_base(self):
+        prefixes = PrefixMap({"ex": "http://example.org/", "exd": "http://example.org/deep/"})
+        assert prefixes.compact("http://example.org/deep/a") == "exd:a"
+        assert prefixes.compact("http://example.org/a") == "ex:a"
+
+    def test_compact_falls_back_to_full_iri(self):
+        assert PrefixMap().compact("http://nowhere.org/x") == "http://nowhere.org/x"
+
+    def test_bind_accepts_strings_and_namespaces(self):
+        prefixes = PrefixMap()
+        prefixes.bind("a", "http://a.org/")
+        prefixes.bind("b", Namespace("http://b.org/"))
+        assert "a" in prefixes and "b" in prefixes
+        assert len(prefixes) == 2
+
+    def test_copy_is_independent(self):
+        original = PrefixMap({"ex": "http://example.org/"})
+        clone = original.copy()
+        clone.bind("new", "http://new.org/")
+        assert "new" not in original
+        assert "new" in clone
+
+    def test_default_prefixes_cover_datasets(self):
+        for prefix in ("y", "rdf", "rdfs", "xsd", "wsdbm", "bio"):
+            assert prefix in DEFAULT_PREFIXES

@@ -1,0 +1,83 @@
+"""Unit tests for the N-Triples reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    Triple,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from repro.rdf.terms import XSD_INTEGER
+
+
+SAMPLE = """
+# a comment line
+<http://x.org/alice> <http://x.org/knows> <http://x.org/bob> .
+<http://x.org/alice> <http://x.org/name> "Alice" .
+<http://x.org/alice> <http://x.org/age> "30"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x.org/alice> <http://x.org/motto> "salut"@fr .
+_:b0 <http://x.org/knows> <http://x.org/alice> .
+"""
+
+
+class TestParsing:
+    def test_parses_all_triple_forms(self):
+        triples = list(parse_ntriples(SAMPLE))
+        assert len(triples) == 5
+        assert triples[0].object == IRI("http://x.org/bob")
+        assert triples[1].object == Literal("Alice")
+        assert triples[2].object == Literal("30", XSD_INTEGER)
+        assert triples[3].object == Literal("salut", language="fr")
+        assert triples[4].subject == BlankNode("b0")
+
+    def test_blank_lines_and_comments_are_skipped(self):
+        assert list(parse_ntriples("\n\n# nothing\n")) == []
+
+    def test_missing_final_dot_raises_with_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(parse_ntriples('<http://x.org/a> <http://x.org/b> "c"'))
+        assert excinfo.value.line == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            '<http://x.org/a> "not-an-iri" "c" .',
+            "<http://x.org/a> <http://x.org/b> .",
+            '<http://x.org/a> <http://x.org/b> "c" extra .',
+            "nonsense line .",
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ParseError):
+            list(parse_ntriples(line))
+
+    def test_escape_sequences_are_decoded(self):
+        line = '<http://x.org/a> <http://x.org/b> "line1\\nline2 \\"quoted\\"" .'
+        (triple,) = list(parse_ntriples(line))
+        assert triple.object.lexical == 'line1\nline2 "quoted"'
+
+
+class TestSerialization:
+    def test_round_trip_preserves_triples(self):
+        original = list(parse_ntriples(SAMPLE))
+        text = serialize_ntriples(original)
+        assert list(parse_ntriples(text)) == original
+
+    def test_file_round_trip(self, tmp_path):
+        original = list(parse_ntriples(SAMPLE))
+        path = tmp_path / "data.nt"
+        written = write_ntriples_file(original, path)
+        assert written == len(original)
+        assert list(parse_ntriples_file(path)) == original
+
+    def test_serialize_produces_one_line_per_triple(self):
+        original = list(parse_ntriples(SAMPLE))
+        text = serialize_ntriples(original)
+        assert text.count("\n") == len(original)
+        assert all(line.endswith(" .") for line in text.strip().splitlines())

@@ -1,0 +1,128 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf import IRI, BlankNode, Literal, Triple, Variable
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER, XSD_STRING
+
+
+class TestIRI:
+    def test_round_trips_value(self):
+        iri = IRI("http://example.org/thing")
+        assert iri.value == "http://example.org/thing"
+        assert iri.n3() == "<http://example.org/thing>"
+
+    def test_rejects_empty_value(self):
+        with pytest.raises(TermError):
+            IRI("")
+
+    @pytest.mark.parametrize("bad", ["http://x.org/a b", "http://x.org/<a>", "a\nb"])
+    def test_rejects_illegal_characters(self, bad):
+        with pytest.raises(TermError):
+            IRI(bad)
+
+    @pytest.mark.parametrize(
+        "value, local",
+        [
+            ("http://example.org/ns#Person", "Person"),
+            ("http://example.org/resource/Albert_Einstein", "Albert_Einstein"),
+            ("urn:isbn:12345", "12345"),
+        ],
+    )
+    def test_local_name(self, value, local):
+        assert IRI(value).local_name() == local
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x.org/a") == IRI("http://x.org/a")
+        assert hash(IRI("http://x.org/a")) == hash(IRI("http://x.org/a"))
+        assert IRI("http://x.org/a") != IRI("http://x.org/b")
+
+
+class TestLiteral:
+    def test_plain_literal_defaults_to_xsd_string(self):
+        literal = Literal("hello")
+        assert literal.datatype == XSD_STRING
+        assert literal.language is None
+        assert literal.n3() == '"hello"'
+
+    def test_language_tagged_literal(self):
+        literal = Literal("bonjour", language="fr")
+        assert literal.n3() == '"bonjour"@fr'
+
+    def test_language_and_datatype_are_mutually_exclusive(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype=XSD_INTEGER, language="en")
+
+    @pytest.mark.parametrize(
+        "value, datatype, expected",
+        [
+            (7, XSD_INTEGER, 7),
+            (3.5, XSD_DOUBLE, 3.5),
+            (True, XSD_BOOLEAN, True),
+            ("text", XSD_STRING, "text"),
+        ],
+    )
+    def test_from_python_to_python_round_trip(self, value, datatype, expected):
+        literal = Literal.from_python(value)
+        assert literal.datatype == datatype
+        assert literal.to_python() == expected
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        literal = Literal('say "hi"\nplease')
+        assert '\\"hi\\"' in literal.n3()
+        assert "\\n" in literal.n3()
+
+    def test_typed_literal_n3_includes_datatype(self):
+        assert Literal("5", XSD_INTEGER).n3() == f'"5"^^<{XSD_INTEGER}>'
+
+
+class TestBlankNodeAndVariable:
+    def test_blank_node_n3(self):
+        assert BlankNode("b0").n3() == "_:b0"
+
+    def test_blank_node_requires_label(self):
+        with pytest.raises(TermError):
+            BlankNode("")
+
+    def test_variable_n3_and_flags(self):
+        var = Variable("person")
+        assert var.n3() == "?person"
+        assert var.is_variable
+        assert not var.is_concrete
+
+    @pytest.mark.parametrize("bad", ["", "?x", "$x"])
+    def test_variable_rejects_bad_names(self, bad):
+        with pytest.raises(TermError):
+            Variable(bad)
+
+    def test_terms_are_totally_ordered_by_kind(self):
+        terms = [Variable("v"), Literal("l"), IRI("http://x.org/a"), BlankNode("b")]
+        ordered = sorted(terms)
+        assert [t.kind for t in ordered] == ["iri", "blank", "literal", "variable"]
+
+
+class TestTriple:
+    def test_triple_round_trip(self):
+        triple = Triple(IRI("http://x.org/s"), IRI("http://x.org/p"), Literal("o"))
+        assert triple.as_tuple() == (triple.subject, triple.predicate, triple.object)
+        assert list(triple) == [triple.subject, triple.predicate, triple.object]
+        assert triple.n3().endswith(" .")
+
+    def test_triple_rejects_variables(self):
+        with pytest.raises(TermError):
+            Triple(Variable("s"), IRI("http://x.org/p"), Literal("o"))
+
+    def test_triple_rejects_literal_subject(self):
+        with pytest.raises(TermError):
+            Triple(Literal("s"), IRI("http://x.org/p"), Literal("o"))
+
+    def test_triple_rejects_non_iri_predicate(self):
+        with pytest.raises(TermError):
+            Triple(IRI("http://x.org/s"), Literal("p"), Literal("o"))
+
+    def test_triples_are_hashable_and_comparable(self):
+        a = Triple(IRI("http://x.org/s"), IRI("http://x.org/p"), Literal("o"))
+        b = Triple(IRI("http://x.org/s"), IRI("http://x.org/p"), Literal("o"))
+        assert a == b
+        assert len({a, b}) == 1

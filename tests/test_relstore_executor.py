@@ -1,0 +1,180 @@
+"""Unit tests for the relational store: planning, execution, work accounting."""
+
+import pytest
+
+from repro.errors import WorkBudgetExceeded
+from repro.execution import ResultTable
+from repro.rdf import IRI, Literal, YAGO
+from repro.relstore import RelationalStore, plan_query, relational_work_units
+from repro.sparql import parse_query
+
+
+@pytest.fixture()
+def store(mini_kg):
+    s = RelationalStore()
+    s.load(mini_kg)
+    return s
+
+
+class TestLoadingAndUpdates:
+    def test_load_counts_triples(self, store, mini_kg):
+        assert len(store) == len(mini_kg)
+
+    def test_load_returns_insert_latency(self, mini_kg):
+        store = RelationalStore()
+        seconds = store.load(mini_kg)
+        assert seconds > 0
+        assert store.total_insert_seconds == pytest.approx(seconds)
+
+    def test_insert_and_delete(self, store):
+        from repro.rdf import Triple
+
+        new_triple = Triple(YAGO.Zoe, YAGO.term("wasBornIn"), YAGO.Berlin)
+        store.insert([new_triple])
+        assert store.partition_size(YAGO.term("wasBornIn")) == 8
+        assert store.delete(new_triple)
+        assert store.partition_size(YAGO.term("wasBornIn")) == 7
+
+    def test_statistics_are_refreshed_after_mutation(self, store):
+        before = store.statistics().total_rows
+        from repro.rdf import Triple
+
+        store.insert([Triple(YAGO.Zoe, YAGO.term("wasBornIn"), YAGO.Berlin)])
+        assert store.statistics().total_rows == before + 1
+
+
+class TestQueryCorrectness:
+    def test_advisor_query_answers(self, store, advisor_query):
+        result = store.execute(advisor_query)
+        people = {binding["p"] for binding in result.bindings}
+        # alice's advisor bob was born in the same city (berlin); carol's was not.
+        assert YAGO.term("Alice") in people
+        assert YAGO.term("Carol") not in people
+
+    def test_single_pattern_query(self, store):
+        query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn <%s> . }" % YAGO.term("Rome").value)
+        result = store.execute(query)
+        assert {b["p"] for b in result.bindings} == {YAGO.term("Eve"), YAGO.term("Frank")}
+
+    def test_query_with_literal_object(self, store):
+        query = parse_query('SELECT ?p WHERE { ?p y:hasGivenName "Eve" . }')
+        result = store.execute(query)
+        assert [b["p"] for b in result.bindings] == [YAGO.term("Eve")]
+
+    def test_distinct_removes_duplicates(self, store):
+        query = parse_query("SELECT DISTINCT ?city WHERE { ?p y:wasBornIn ?city . }")
+        result = store.execute(query)
+        assert len(result) == 3
+
+    def test_limit(self, store):
+        query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?city . } LIMIT 2")
+        assert len(store.execute(query)) == 2
+
+    def test_filter_is_applied(self, store):
+        query = parse_query('SELECT ?p ?n WHERE { ?p y:hasGivenName ?n . FILTER(?n = "Frank") }')
+        result = store.execute(query)
+        assert len(result) == 1
+        assert result.bindings[0]["n"] == Literal("Frank")
+
+    def test_empty_result_for_impossible_join(self, store):
+        # People born in Rome whose advisor was also born in Rome: Eve is the
+        # only Rome-born person with an advisor, and Grace was born in Paris.
+        query = parse_query(
+            "SELECT ?p WHERE { ?p y:wasBornIn <%s> . ?p y:hasAcademicAdvisor ?a . "
+            "?a y:wasBornIn <%s> . }" % (YAGO.term("Rome").value, YAGO.term("Rome").value)
+        )
+        result = store.execute(query)
+        assert len(result) == 0
+
+    def test_variable_predicate_falls_back_to_table_scan(self, store):
+        query = parse_query("SELECT ?p ?o WHERE { <%s> ?p ?o . }" % YAGO.term("Alice").value)
+        result = store.execute(query)
+        assert len(result) == 4  # born, advisor, given, family
+
+    def test_unknown_predicate_yields_empty_result(self, store):
+        query = parse_query("SELECT ?p WHERE { ?p y:neverSeen ?o . }")
+        assert len(store.execute(query)) == 0
+
+    def test_cartesian_product_when_patterns_disconnected(self, store):
+        query = parse_query(
+            "SELECT ?a ?b WHERE { ?a y:isMarriedTo ?x . ?b y:hasAcademicAdvisor ?y . }"
+        )
+        result = store.execute(query)
+        assert len(result) == 2 * 3
+
+
+class TestWorkAccounting:
+    def test_partition_scan_charges_rows_scanned(self, store, advisor_query):
+        result = store.execute(advisor_query)
+        # wasBornIn is scanned twice (two patterns) and advisor once.
+        born = store.partition_size(YAGO.term("wasBornIn"))
+        advisor = store.partition_size(YAGO.term("hasAcademicAdvisor"))
+        assert result.counters.rows_scanned == 2 * born + advisor
+
+    def test_seconds_are_priced_by_the_cost_model(self, store, advisor_query):
+        result = store.execute(advisor_query)
+        assert result.seconds == pytest.approx(
+            store.cost_model.relational_query_seconds(result.counters)
+        )
+        assert result.store == "relational"
+
+    def test_larger_scans_cost_more(self, store, advisor_query):
+        simple = parse_query("SELECT ?p WHERE { ?p y:isMarriedTo ?q . }")
+        assert store.execute(advisor_query).seconds > store.execute(simple).seconds
+
+    def test_constant_object_uses_index_lookup(self, store):
+        query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn <%s> . }" % YAGO.term("Rome").value)
+        result = store.execute(query)
+        assert result.counters.index_lookups == 1
+        assert result.counters.rows_scanned == 2
+
+    def test_work_budget_aborts_execution(self, store, advisor_query):
+        with pytest.raises(WorkBudgetExceeded):
+            store.execute(advisor_query, work_budget=1.0)
+
+    def test_execute_capped_returns_partial_cost(self, store, advisor_query):
+        result, seconds = store.execute_capped(advisor_query, work_budget=1.0)
+        assert result is None
+        assert seconds > 0
+
+    def test_execute_capped_with_generous_budget_completes(self, store, advisor_query):
+        result, seconds = store.execute_capped(advisor_query, work_budget=1e9)
+        assert result is not None
+        assert seconds == pytest.approx(result.seconds)
+
+    def test_relational_work_units_combine_counters(self, store, advisor_query):
+        counters = store.execute(advisor_query).counters
+        assert relational_work_units(counters) >= counters.rows_scanned
+
+
+class TestExtraTables:
+    def test_extra_table_joins_with_base_patterns(self, store):
+        table = ResultTable(name="tmp", variables=("p",), rows=[(YAGO.term("Alice"),)])
+        query = parse_query("SELECT ?n WHERE { ?p y:hasGivenName ?n . }")
+        result = store.execute(query, extra_tables=[table])
+        assert [b["n"] for b in result.bindings] == [Literal("Alice")]
+
+    def test_view_tables_charge_view_rows(self, store):
+        table = ResultTable(name="view", variables=("p",), rows=[(YAGO.term("Alice"),)])
+        query = parse_query("SELECT ?n WHERE { ?p y:hasGivenName ?n . }")
+        result = store.execute(query, extra_tables=[table], tables_are_views=True)
+        assert result.counters.view_rows_scanned == 1
+        assert result.counters.rows_scanned > 0  # the base pattern still scans
+
+
+class TestPlanner:
+    def test_plan_orders_selective_pattern_first(self, store):
+        query = parse_query(
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasGivenName \"Eve\" . }"
+        )
+        plan = plan_query(query, store.statistics())
+        assert plan.steps[0].access_path in ("index_object", "index_subject")
+
+    def test_plan_covers_every_pattern(self, store, example1_query):
+        plan = store.plan(example1_query)
+        assert len(plan) == len(example1_query.patterns)
+        assert plan.estimated_work() > 0
+
+    def test_explicit_pattern_order_is_respected(self, store, advisor_query):
+        plan = store.plan(advisor_query, pattern_order=list(advisor_query.patterns))
+        assert [step.pattern for step in plan] == list(advisor_query.patterns)

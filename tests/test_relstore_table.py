@@ -1,0 +1,113 @@
+"""Unit tests for the relational triple table and its statistics."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.rdf import Literal, Triple, YAGO
+from repro.relstore import TripleTable, collect_statistics
+from repro.sparql import parse_query
+
+BORN = YAGO.term("wasBornIn")
+NAME = YAGO.term("hasGivenName")
+ALICE, BOB, BERLIN, PARIS = YAGO.Alice, YAGO.Bob, YAGO.Berlin, YAGO.Paris
+
+
+@pytest.fixture()
+def table():
+    t = TripleTable()
+    t.insert_all(
+        [
+            Triple(ALICE, BORN, BERLIN),
+            Triple(BOB, BORN, PARIS),
+            Triple(ALICE, NAME, Literal("Alice")),
+        ]
+    )
+    return t
+
+
+class TestTripleTable:
+    def test_insert_deduplicates(self, table):
+        assert not table.insert(Triple(ALICE, BORN, BERLIN))
+        assert len(table) == 3
+
+    def test_contains(self, table):
+        assert table.contains(Triple(ALICE, BORN, BERLIN))
+        assert not table.contains(Triple(BOB, BORN, BERLIN))
+
+    def test_predicates_and_cardinalities(self, table):
+        assert table.predicate_cardinality(BORN) == 2
+        assert table.predicate_cardinality(NAME) == 1
+        assert table.predicate_cardinality(YAGO.term("unknown")) == 0
+        assert table.cardinalities()[BORN] == 2
+
+    def test_partition_decodes_triples(self, table):
+        partition = table.partition(BORN)
+        assert set(partition) == {Triple(ALICE, BORN, BERLIN), Triple(BOB, BORN, PARIS)}
+        assert table.partition(YAGO.term("unknown")) == []
+
+    def test_scan_predicate(self, table):
+        predicate_id = table.dictionary.lookup(BORN)
+        rows = list(table.scan_predicate(predicate_id))
+        assert len(rows) == 2
+
+    def test_point_lookups(self, table):
+        predicate_id = table.dictionary.lookup(BORN)
+        subject_id = table.dictionary.lookup(ALICE)
+        object_id = table.dictionary.lookup(PARIS)
+        assert len(list(table.lookup_subject(predicate_id, subject_id))) == 1
+        assert len(list(table.lookup_object(predicate_id, object_id))) == 1
+
+    def test_delete_leaves_tombstone_then_compact_reclaims(self, table):
+        assert table.delete(Triple(ALICE, BORN, BERLIN))
+        assert not table.delete(Triple(ALICE, BORN, BERLIN))
+        assert len(table) == 2
+        assert table.tombstone_count == 1
+        assert not table.contains(Triple(ALICE, BORN, BERLIN))
+        assert table.predicate_cardinality(BORN) == 1
+        reclaimed = table.compact()
+        assert reclaimed == 1
+        assert table.tombstone_count == 0
+        assert len(table) == 2
+
+    def test_delete_unknown_triple_returns_false(self, table):
+        assert not table.delete(Triple(YAGO.Zoe, BORN, BERLIN))
+
+    def test_scan_skips_tombstones(self, table):
+        table.delete(Triple(ALICE, BORN, BERLIN))
+        assert len(list(table.scan())) == 2
+
+    def test_require_term_id_raises_for_unknown_term(self, table):
+        with pytest.raises(StorageError):
+            table.require_term_id(YAGO.term("never_seen"))
+
+
+class TestStatistics:
+    def test_collect_statistics_counts_rows_and_distincts(self, table):
+        stats = collect_statistics(table)
+        assert stats.total_rows == 3
+        born = stats.per_predicate[BORN]
+        assert born.cardinality == 2
+        assert born.distinct_subjects == 2
+        assert born.distinct_objects == 2
+        assert born.avg_fanout == pytest.approx(1.0)
+
+    def test_estimate_pattern_rows_uses_partition_sizes(self, table):
+        stats = collect_statistics(table)
+        query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+        assert stats.estimate_pattern_rows(query.patterns[0]) == 2
+
+    def test_estimate_pattern_rows_with_bound_object(self, table):
+        stats = collect_statistics(table)
+        query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn <%s> . }" % BERLIN.value)
+        assert stats.estimate_pattern_rows(query.patterns[0]) >= 1
+
+    def test_estimate_pattern_rows_for_unknown_predicate_is_zero(self, table):
+        stats = collect_statistics(table)
+        query = parse_query("SELECT ?p WHERE { ?p y:unknownPredicate ?c . }")
+        assert stats.estimate_pattern_rows(query.patterns[0]) == 0
+
+    def test_estimate_query_work_increases_with_patterns(self, table):
+        stats = collect_statistics(table)
+        one = parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+        two = parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasGivenName ?n . }")
+        assert stats.estimate_query_work(two) > stats.estimate_query_work(one)

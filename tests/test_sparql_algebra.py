@@ -1,0 +1,143 @@
+"""Unit tests for the BGP algebra helpers."""
+
+import pytest
+
+from repro.rdf import Literal, Variable, YAGO
+from repro.sparql import (
+    TriplePattern,
+    connected_components,
+    is_connected,
+    join_variables,
+    merge_bindings,
+    order_patterns_greedily,
+    parse_query,
+    pattern_selectivity_key,
+    query_shape,
+    shared_variables,
+)
+
+
+def pattern(s, p, o):
+    return TriplePattern(s, p, o)
+
+
+V = Variable
+BORN = YAGO.wasBornIn
+ADVISOR = YAGO.hasAcademicAdvisor
+NAME = YAGO.hasGivenName
+
+
+class TestJoinStructure:
+    def test_join_variables(self):
+        patterns = [
+            pattern(V("p"), BORN, V("c")),
+            pattern(V("p"), ADVISOR, V("a")),
+            pattern(V("a"), BORN, V("c")),
+        ]
+        assert join_variables(patterns) == {"p", "a", "c"}
+
+    def test_join_variables_excludes_singletons(self):
+        patterns = [pattern(V("p"), BORN, V("c")), pattern(V("p"), NAME, V("n"))]
+        assert join_variables(patterns) == {"p"}
+
+    def test_connected_components_single_component(self):
+        patterns = [
+            pattern(V("p"), BORN, V("c")),
+            pattern(V("p"), ADVISOR, V("a")),
+        ]
+        assert connected_components(patterns) == [[0, 1]]
+        assert is_connected(patterns)
+
+    def test_connected_components_disconnected(self):
+        patterns = [pattern(V("p"), BORN, V("c")), pattern(V("x"), NAME, V("n"))]
+        assert connected_components(patterns) == [[0], [1]]
+        assert not is_connected(patterns)
+
+    def test_empty_pattern_list_is_connected(self):
+        assert is_connected([])
+
+    def test_shared_variables(self):
+        left = [pattern(V("p"), BORN, V("c"))]
+        right = [pattern(V("p"), NAME, V("n"))]
+        assert shared_variables(left, right) == frozenset({"p"})
+
+
+class TestBindings:
+    def test_merge_compatible_bindings(self):
+        merged = merge_bindings({"a": Literal("1")}, {"b": Literal("2")})
+        assert merged == {"a": Literal("1"), "b": Literal("2")}
+
+    def test_merge_conflicting_bindings_returns_none(self):
+        assert merge_bindings({"a": Literal("1")}, {"a": Literal("2")}) is None
+
+    def test_merge_same_value_is_fine(self):
+        assert merge_bindings({"a": Literal("1")}, {"a": Literal("1")}) == {"a": Literal("1")}
+
+
+class TestOrdering:
+    def test_selectivity_key_prefers_more_bound_positions(self):
+        bound = pattern(YAGO.Alice, BORN, V("c"))
+        unbound = pattern(V("p"), BORN, V("c"))
+        assert pattern_selectivity_key(bound) < pattern_selectivity_key(unbound)
+
+    def test_greedy_order_starts_with_most_selective(self):
+        patterns = [
+            pattern(V("p"), BORN, V("c")),
+            pattern(V("p"), NAME, Literal("Alice")),
+        ]
+        ordered = order_patterns_greedily(patterns)
+        assert ordered[0].object == Literal("Alice")
+
+    def test_greedy_order_keeps_connectivity(self):
+        patterns = [
+            pattern(V("a"), BORN, V("c")),
+            pattern(V("p"), ADVISOR, V("a")),
+            pattern(V("p"), NAME, Literal("Alice")),
+        ]
+        ordered = order_patterns_greedily(patterns)
+        seen = set(ordered[0].variable_names())
+        for pat in ordered[1:]:
+            assert pat.variable_names() & seen
+            seen |= pat.variable_names()
+
+    def test_greedy_order_uses_cardinalities(self):
+        patterns = [pattern(V("p"), BORN, V("c")), pattern(V("p"), ADVISOR, V("a"))]
+        ordered = order_patterns_greedily(patterns, cardinality={BORN: 1000, ADVISOR: 10})
+        assert ordered[0].predicate == ADVISOR
+
+    def test_greedy_order_preserves_pattern_multiset(self):
+        patterns = [
+            pattern(V("p"), BORN, V("c")),
+            pattern(V("p"), ADVISOR, V("a")),
+            pattern(V("a"), BORN, V("c")),
+        ]
+        assert sorted(p.n3() for p in order_patterns_greedily(patterns)) == sorted(
+            p.n3() for p in patterns
+        )
+
+    def test_empty_input(self):
+        assert order_patterns_greedily([]) == []
+
+
+class TestQueryShape:
+    @pytest.mark.parametrize(
+        "text, shape",
+        [
+            (
+                "SELECT ?a WHERE { ?a y:wasBornIn ?b . ?b y:isLocatedIn ?c . ?c y:hasLabel ?d . }",
+                "linear",
+            ),
+            (
+                "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasGivenName ?n . ?p y:hasFamilyName ?f . }",
+                "star",
+            ),
+            (
+                "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . "
+                "?a y:wasBornIn ?c . }",
+                "complex",
+            ),
+            ("SELECT ?p WHERE { ?p y:wasBornIn ?c . }", "linear"),
+        ],
+    )
+    def test_shapes(self, text, shape):
+        assert query_shape(parse_query(text)) == shape

@@ -1,0 +1,78 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sparql import tokenize
+
+
+def token_types(text):
+    return [token.type for token in tokenize(text)]
+
+
+class TestTokenizer:
+    def test_keywords_are_recognised_case_insensitively(self):
+        tokens = tokenize("select Where FILTER limit")
+        assert all(token.type == "KEYWORD" for token in tokens)
+
+    def test_variables_strip_the_prefix(self):
+        tokens = tokenize("?person $city")
+        assert [(t.type, t.value) for t in tokens] == [("VAR", "person"), ("VAR", "city")]
+
+    def test_iri_token_strips_angle_brackets(self):
+        (token,) = tokenize("<http://x.org/a>")
+        assert token.type == "IRI"
+        assert token.value == "http://x.org/a"
+
+    def test_prefixed_name(self):
+        (token,) = tokenize("y:wasBornIn")
+        assert token.type == "PNAME"
+
+    def test_string_with_language_tag(self):
+        types = token_types('"hello"@en')
+        assert types == ["STRING", "LANGTAG"]
+
+    def test_string_with_datatype(self):
+        types = token_types('"5"^^<http://www.w3.org/2001/XMLSchema#integer>')
+        assert types == ["STRING", "DOUBLE_CARET", "IRI"]
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_comparison_operators(self, op):
+        tokens = tokenize(f"?x {op} 5")
+        assert tokens[1].type == "OP"
+        assert tokens[1].value == op
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 -7")
+        assert [t.type for t in tokens] == ["NUMBER", "NUMBER", "NUMBER"]
+
+    def test_punctuation(self):
+        assert token_types("{ } ( ) . , ; * :") == [
+            "LBRACE",
+            "RBRACE",
+            "LPAREN",
+            "RPAREN",
+            "DOT",
+            "COMMA",
+            "SEMICOLON",
+            "STAR",
+            "COLON",
+        ]
+
+    def test_comments_and_whitespace_are_skipped(self):
+        assert token_types("?x # trailing comment\n?y") == ["VAR", "VAR"]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("SELECT ?x\nWHERE")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[2].line == 2 and tokens[2].column == 1
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("SELECT @@")
+        assert excinfo.value.line == 1
+
+    def test_is_keyword_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("select")
+        assert not token.is_keyword("where")

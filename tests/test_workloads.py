@@ -1,0 +1,219 @@
+"""Tests for the synthetic datasets, query templates, and workload batching."""
+
+import pytest
+
+from repro.core import ComplexSubqueryIdentifier
+from repro.errors import WorkloadError
+from repro.workload import (
+    QueryTemplate,
+    WATDIV_FAMILY_SIZES,
+    bio2rdf_workload,
+    generate_bio2rdf,
+    generate_watdiv,
+    generate_yago,
+    split_batches,
+    watdiv_workload,
+    yago_workload,
+    zipf_weights,
+)
+from repro.workload.generator import SyntheticGraphBuilder
+from repro.rdf.namespace import YAGO
+
+
+IDENTIFIER = ComplexSubqueryIdentifier()
+
+
+class TestGeneratorToolkit:
+    def test_zipf_weights_sum_to_one_and_decrease(self):
+        weights = zipf_weights(10)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_zipf_weights_reject_empty(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)
+
+    def test_builder_is_deterministic_for_a_seed(self):
+        def build(seed):
+            builder = SyntheticGraphBuilder(YAGO, seed=seed)
+            people = builder.mint_entities("p", 20)
+            for person in people:
+                builder.add_fact(person, YAGO.term("knows"), builder.choose(people, skew=1.1))
+            return builder.build()
+
+        assert build(5) == build(5)
+        assert build(5) != build(6)
+
+    def test_entities_lookup(self):
+        builder = SyntheticGraphBuilder(YAGO, seed=1)
+        builder.mint_entities("city", 3)
+        assert len(builder.entities("city")) == 3
+        with pytest.raises(WorkloadError):
+            builder.entities("unknown")
+
+
+class TestYagoDataset:
+    def test_size_is_close_to_target(self):
+        dataset = generate_yago(3000, seed=7)
+        assert 0.7 * 3000 <= len(dataset) <= 1.3 * 3000
+
+    def test_generation_is_deterministic(self):
+        assert generate_yago(1000, seed=3).triples == generate_yago(1000, seed=3).triples
+
+    def test_has_the_paper_relevant_predicates(self):
+        dataset = generate_yago(2000, seed=7)
+        names = {p.local_name() for p in dataset.triples.predicates}
+        assert {"wasBornIn", "hasAcademicAdvisor", "isMarriedTo", "hasGivenName"} <= names
+
+    def test_rejects_tiny_targets(self):
+        with pytest.raises(WorkloadError):
+            generate_yago(10)
+
+    def test_workload_has_20_queries_like_the_paper(self, yago_dataset):
+        workload = yago_workload(yago_dataset)
+        assert len(workload) == 20
+
+    def test_workload_queries_have_answers_and_complex_parts(self, yago_dataset, yago_queries):
+        from repro.relstore import RelationalStore
+
+        store = RelationalStore()
+        store.load(yago_dataset.triples)
+        complex_count = 0
+        answered = 0
+        for entry in yago_queries.queries:
+            if IDENTIFIER.identify(entry.query) is not None:
+                complex_count += 1
+            if len(store.execute(entry.query)) > 0:
+                answered += 1
+        assert complex_count == len(yago_queries)  # every YAGO template has a complex part
+        # The workload's complex queries are highly selective (constant-bound
+        # mutations), so only a handful return rows at test scale — but at
+        # least one must, so the cross-engine correctness checks are not vacuous.
+        assert answered >= 1
+
+    def test_complex_partitions_fit_default_budget(self, yago_dataset, yago_queries):
+        budget = int(0.25 * len(yago_dataset.triples))
+        sizes = yago_dataset.triples.predicate_histogram()
+        for entry in yago_queries.queries:
+            complex_subquery = IDENTIFIER.identify(entry.query)
+            needed = sum(sizes.get(p, 0) for p in complex_subquery.predicates)
+            assert needed <= budget
+
+
+class TestWatDivDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_watdiv(3000, seed=17)
+
+    def test_family_sizes_match_the_paper(self, dataset):
+        workload = watdiv_workload(dataset)
+        assert len(workload) == 100
+        assert workload.families() == WATDIV_FAMILY_SIZES
+
+    def test_single_family_workloads(self, dataset):
+        for family, expected in WATDIV_FAMILY_SIZES.items():
+            workload = watdiv_workload(dataset, family=family)
+            assert len(workload) == expected
+
+    def test_unknown_family_rejected(self, dataset):
+        with pytest.raises(WorkloadError):
+            watdiv_workload(dataset, family="cyclic")
+
+    def test_complex_family_queries_fit_default_budget(self, dataset):
+        budget = int(0.25 * len(dataset.triples))
+        sizes = dataset.triples.predicate_histogram()
+        workload = watdiv_workload(dataset, family="complex")
+        for entry in workload.queries:
+            complex_subquery = IDENTIFIER.identify(entry.query)
+            assert complex_subquery is not None
+            needed = sum(sizes.get(p, 0) for p in complex_subquery.predicates)
+            assert needed <= budget
+
+
+class TestBio2RDFDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_bio2rdf(3000, seed=23)
+
+    def test_workload_has_25_queries_like_the_paper(self, dataset):
+        assert len(bio2rdf_workload(dataset)) == 25
+
+    def test_every_template_has_a_complex_part(self, dataset):
+        workload = bio2rdf_workload(dataset)
+        assert all(IDENTIFIER.identify(e.query) is not None for e in workload.queries)
+
+    def test_union_of_complex_partitions_fits_budget(self, dataset):
+        budget = int(0.25 * len(dataset.triples))
+        sizes = dataset.triples.predicate_histogram()
+        union = set()
+        for entry in bio2rdf_workload(dataset).queries:
+            union |= set(IDENTIFIER.identify(entry.query).predicates)
+        assert sum(sizes.get(p, 0) for p in union) <= budget
+
+
+class TestTemplatesAndBatching:
+    def test_template_instantiation_with_defaults_and_values(self):
+        template = QueryTemplate(
+            name="demo",
+            family="linear",
+            text="SELECT ?p WHERE { ?p y:wasBornIn {city} . }",
+            slots={"city": ["<http://a.org/c1>", "<http://a.org/c2>"]},
+        )
+        default = template.instantiate()
+        other = template.instantiate({"city": "<http://a.org/c2>"})
+        assert default.patterns[0].object.value == "http://a.org/c1"
+        assert other.patterns[0].object.value == "http://a.org/c2"
+
+    def test_template_rejects_unknown_slots(self):
+        template = QueryTemplate(
+            name="demo", family="linear", text="SELECT ?p WHERE { ?p y:wasBornIn ?c . }"
+        )
+        with pytest.raises(WorkloadError):
+            template.instantiate({"nope": "x"})
+
+    def test_mutations_include_the_original(self):
+        import random
+
+        template = QueryTemplate(
+            name="demo",
+            family="linear",
+            text="SELECT ?p WHERE { ?p y:wasBornIn {city} . }",
+            slots={"city": ["<http://a.org/c1>", "<http://a.org/c2>", "<http://a.org/c3>"]},
+        )
+        queries = template.mutations(4, random.Random(1))
+        assert len(queries) == 5
+
+    def test_ordered_vs_random_have_same_multiset(self, yago_queries):
+        ordered = yago_queries.ordered()
+        randomised = yago_queries.randomized(seed=3)
+        assert sorted(q.to_sparql() for q in ordered) == sorted(q.to_sparql() for q in randomised)
+        assert ordered != randomised
+
+    def test_randomized_is_deterministic_per_seed(self, yago_queries):
+        assert yago_queries.randomized(seed=5) == yago_queries.randomized(seed=5)
+
+    def test_batches_partition_the_workload(self, yago_queries):
+        batches = yago_queries.batches("ordered")
+        assert len(batches) == 5
+        assert sum(len(b) for b in batches) == len(yago_queries)
+
+    def test_batches_reject_unknown_order(self, yago_queries):
+        with pytest.raises(WorkloadError):
+            yago_queries.batches("sideways")
+
+    def test_subset_fraction(self, yago_queries):
+        half = yago_queries.subset(0.5, order="random", seed=1)
+        assert len(half) == len(yago_queries) // 2
+        with pytest.raises(WorkloadError):
+            yago_queries.subset(0.0)
+
+    @pytest.mark.parametrize("count, expected", [(1, [5]), (2, [3, 2]), (5, [1, 1, 1, 1, 1]), (7, [1, 1, 1, 1, 1])])
+    def test_split_batches_sizes(self, count, expected):
+        queries = ["q"] * 5
+        assert [len(b) for b in split_batches(queries, count)] == expected
+
+    def test_split_batches_rejects_bad_input(self):
+        with pytest.raises(WorkloadError):
+            split_batches([], 3)
+        with pytest.raises(WorkloadError):
+            split_batches(["q"], 0)
