@@ -10,7 +10,10 @@ YAGO-like knowledge graph:
 3. let DOTIL observe the query and tune the physical design (it transfers the
    needed triple partitions into the graph store),
 4. run the query again — it is now routed to the graph store and is much
-   faster.
+   faster,
+5. front the store with a :class:`repro.QueryService` — repeated serving of
+   the same query is answered from the result cache (see
+   ``examples/serving.py`` for the full serving tour).
 
 Run with::
 
@@ -19,7 +22,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Dotil, DotilConfig, DualStore, generate_yago, parse_query
+from repro import Dotil, DotilConfig, DualStore, QueryService, generate_yago, parse_query
 
 
 ADVISOR_QUERY = """
@@ -65,6 +68,14 @@ def main() -> None:
     speedup = cold.seconds / warm.seconds if warm.seconds > 0 else float("inf")
     print(f"\n   speedup from the dual-store structure: {speedup:.1f}x")
     assert warm.seconds < cold.seconds, "the tuned store should be faster on the complex query"
+
+    print("\n== 5. Serve the query through the caching QueryService ==")
+    with QueryService(dual) as service:
+        service.run_query(query)          # executes and fills the result cache
+        served = service.run_query(query)  # answered from the cache
+        print(f"   second serve from cache: {served.record.from_cache}, "
+              f"result hit rate: {service.metrics.counters.result_cache_hit_rate:.0%}")
+        assert served.record.from_cache
 
 
 if __name__ == "__main__":

@@ -6,17 +6,41 @@ design tuner DOTIL, the query processor that spans both stores, and every
 substrate the evaluation needs: an RDF data model, a SPARQL subset, a
 work-accounted relational engine, an adjacency-list graph engine, a
 deterministic cost model, and synthetic YAGO/WatDiv/Bio2RDF-like datasets and
-workloads.
+workloads.  On top of that sits :mod:`repro.serve`: a caching, batching
+:class:`~repro.serve.QueryService` for serving whole workloads.
 
 Quickstart
 ----------
->>> from repro import DualStore, Dotil, generate_yago, yago_workload
+Build a dual store, front it with a :class:`QueryService`, and serve a
+workload batch; serving the same batch again is answered from the result
+cache (one :class:`QueryRecord` per submitted query either way):
+
+>>> from repro import DualStore, QueryService, generate_yago, yago_workload
 >>> dataset = generate_yago(target_triples=2000)
 >>> dual = DualStore().load(dataset.triples)
->>> tuner = Dotil(dual)
 >>> workload = yago_workload(dataset)
 >>> batch = workload.batches("ordered")[0]
->>> records = [dual.run_query(q) for q in batch]
+>>> service = QueryService(dual)
+>>> first = service.run_batch(batch)
+>>> len(first.records) == len(batch)
+True
+>>> second = service.run_batch(batch)
+>>> second.cache_hits == len(batch)
+True
+>>> second.tti == first.tti  # cached records keep the modelled seconds
+True
+
+Mutating the store invalidates cached results, so a hit can never be stale:
+
+>>> service.insert([]) >= 0.0
+True
+>>> third = service.run_batch(batch)
+>>> third.cache_hits == 0
+True
+>>> service.close()  # detaches the store hook and stops the worker pool
+
+The uncached path of the paper's experiments is ``dual.run_query``; DOTIL
+(:class:`Dotil`) tunes the physical design underneath either path.
 """
 
 from repro.core import (
@@ -50,7 +74,8 @@ from repro.cost import CostModel, DEFAULT_COST_MODEL, ResourceThrottle, Simulate
 from repro.graphstore import GraphStore, PropertyGraph
 from repro.rdf import IRI, Literal, TripleSet, Triple, Variable
 from repro.relstore import RelationalStore, SQLiteBackend
-from repro.sparql import SelectQuery, TriplePattern, parse_query
+from repro.serve import QueryService, ServedBatch, ServiceConfig, ServiceMetrics
+from repro.sparql import SelectQuery, TriplePattern, canonical_query_text, parse_query
 from repro.workload import (
     Workload,
     bio2rdf_workload,
@@ -111,6 +136,12 @@ __all__ = [
     "SelectQuery",
     "TriplePattern",
     "parse_query",
+    "canonical_query_text",
+    # serving layer
+    "QueryService",
+    "ServiceConfig",
+    "ServedBatch",
+    "ServiceMetrics",
     # workloads
     "Workload",
     "generate_yago",

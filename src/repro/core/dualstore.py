@@ -16,7 +16,7 @@ tuning policies, which is exactly what the tuner-comparison experiment needs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.cost.resources import ResourceThrottle
@@ -71,6 +71,30 @@ class DualStore:
         self.design: Optional[DualStoreDesign] = None
         self._explicit_budget = storage_budget
         self.transfer_log: List[Tuple[str, IRI]] = []
+        #: Monotonic counter bumped on every mutation that can change query
+        #: answers or routing (load/insert/transfer/evict).  Serving-layer
+        #: caches tag entries with the generation they were computed under and
+        #: treat any entry from an older generation as stale, so a cache can
+        #: never return a result that predates a mutation.
+        self.generation: int = 0
+        self._invalidation_hooks: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Mutation generations (consumed by repro.serve caches)
+    # ------------------------------------------------------------------ #
+    def add_invalidation_hook(self, hook: Callable[[int], None]) -> None:
+        """Register a callback invoked with the new generation after every
+        answer-changing mutation (``load``, ``insert``, ``transfer_partition``,
+        ``evict_partition``)."""
+        self._invalidation_hooks.append(hook)
+
+    def remove_invalidation_hook(self, hook: Callable[[int], None]) -> None:
+        self._invalidation_hooks.remove(hook)
+
+    def _bump_generation(self) -> None:
+        self.generation += 1
+        for hook in self._invalidation_hooks:
+            hook(self.generation)
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -90,6 +114,7 @@ class DualStore:
             budget = int(self.config.r_bg * len(triples))
         self.graph.storage_budget = budget
         self.design = DualStoreDesign.from_sizes(sizes, storage_budget=budget)
+        self._bump_generation()
         return self
 
     def insert(self, triples: Iterable[Triple]) -> float:
@@ -97,6 +122,7 @@ class DualStore:
         seconds = self.relational.insert(triples)
         if self.design is not None:
             self.design.partition_sizes = self.relational.partition_sizes()
+        self._bump_generation()
         return seconds
 
     # ------------------------------------------------------------------ #
@@ -122,6 +148,7 @@ class DualStore:
         seconds = self.graph.load_partition(predicate, triples)
         self.design.mark_transferred(predicate)
         self.transfer_log.append(("transfer", predicate))
+        self._bump_generation()
         return seconds
 
     def evict_partition(self, predicate: IRI) -> int:
@@ -131,6 +158,7 @@ class DualStore:
         removed = self.graph.evict_partition(predicate)
         self.design.mark_evicted(predicate)
         self.transfer_log.append(("evict", predicate))
+        self._bump_generation()
         return removed
 
     def transfer_partitions(self, predicates: Iterable[IRI]) -> float:

@@ -8,7 +8,7 @@ These records capture both, per query, per batch, and per workload run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.counters import WorkCounters
@@ -30,6 +30,21 @@ class QueryRecord:
     relational_seconds: float = 0.0
     migration_seconds: float = 0.0
     had_complex_subquery: bool = False
+    #: True when the record was served by the caching layer (result-cache hit
+    #: or within-batch deduplication) instead of a fresh store execution.  The
+    #: modelled ``seconds`` still price the underlying execution, so TTI-based
+    #: experiments stay comparable whether or not a cache sits in front.
+    from_cache: bool = False
+
+    def replicate(self, from_cache: bool = True) -> "QueryRecord":
+        """A per-submission copy of this record for cached/deduplicated serving.
+
+        The serving layer must emit one record per *submitted* query even when
+        several submissions share a single execution; sharing the mutable
+        counters object across records would double-count work, so the copy
+        gets its own counters.
+        """
+        return replace(self, counters=self.counters.copy(), from_cache=from_cache)
 
 
 @dataclass

@@ -16,6 +16,7 @@ which predicates currently live in the graph store:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from itertools import count
 from typing import Optional
@@ -53,7 +54,15 @@ class ProcessedQuery:
 
 
 class QueryProcessor:
-    """Routes queries across the two stores based on the current design."""
+    """Routes queries across the two stores based on the current design.
+
+    Concurrency contract: ``process`` only *reads* store state, so several
+    threads may process queries at once (the serving layer's batched admission
+    path relies on this) provided no physical-design mutation — ``insert``,
+    ``transfer_partition``, ``evict_partition`` — runs concurrently.  The only
+    processor-owned mutable state is the temporary-table name counter, which
+    is guarded by a lock.
+    """
 
     def __init__(
         self,
@@ -65,6 +74,11 @@ class QueryProcessor:
         self.graph = graph
         self.cost_model = cost_model
         self._temp_table_ids = count(1)
+        self._temp_table_lock = threading.Lock()
+
+    def _next_temp_table_name(self) -> str:
+        with self._temp_table_lock:
+            return f"temp_complex_{next(self._temp_table_ids)}"
 
     def process(self, query: SelectQuery, complex_subquery: Optional[ComplexSubquery]) -> ProcessedQuery:
         """Execute ``query`` using Algorithm 3's three cases."""
@@ -124,7 +138,7 @@ class QueryProcessor:
         graph_result = self.graph.execute(complex_subquery.query)
 
         table = ResultTable.from_result(
-            name=f"temp_complex_{next(self._temp_table_ids)}",
+            name=self._next_temp_table_name(),
             result=graph_result,
         )
         migration_seconds = self.cost_model.migration_seconds(len(table))

@@ -1,0 +1,28 @@
+"""Concurrent query-serving layer: caches, batched admission, service metrics.
+
+This package is the serving substrate in front of the paper's dual-store
+structure.  :class:`QueryService` fronts a loaded
+:class:`~repro.core.dualstore.DualStore` and serves single queries or whole
+workload batches with plan caching, generation-validated result caching,
+within-batch deduplication, and a thread pool over the read-only stores.  See
+``docs/architecture.md`` for the cache-invalidation contract.
+"""
+
+from repro.serve.metrics import LatencyDigest, QueueGauge, ServiceCounters, ServiceMetrics
+from repro.serve.plan_cache import PlanCache, QueryPlan
+from repro.serve.result_cache import CachedExecution, ResultCache
+from repro.serve.service import QueryService, ServedBatch, ServiceConfig
+
+__all__ = [
+    "QueryService",
+    "ServiceConfig",
+    "ServedBatch",
+    "PlanCache",
+    "QueryPlan",
+    "ResultCache",
+    "CachedExecution",
+    "ServiceCounters",
+    "ServiceMetrics",
+    "LatencyDigest",
+    "QueueGauge",
+]

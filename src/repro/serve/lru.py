@@ -1,0 +1,58 @@
+"""Thread-safe LRU cache shared by the serving layer's caches.
+
+Both the plan cache and the result cache are capacity-bounded LRU maps; the
+eviction and locking logic lives here once, and subclasses layer their own
+lookup semantics (the result cache's generation check) on top using the
+protected ``_lock``/``_entries`` so a compound check-and-drop stays atomic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A capacity-bounded, thread-safe LRU map over hashable keys."""
+
+    def __init__(self, capacity: int, what: str = "cache"):
+        if capacity < 1:
+            raise ValueError(f"{what} capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: K) -> Optional[V]:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._entries

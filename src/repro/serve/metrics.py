@@ -1,0 +1,201 @@
+"""Service-level metrics for the query-serving layer.
+
+The style mirrors :mod:`repro.cost.counters`: plain counter objects that the
+service increments as it works, cheap to merge and to snapshot.  On top of the
+counters the serving layer needs two things the store-level counters do not
+provide:
+
+* latency *distributions* (p50/p95, not just totals) — :class:`LatencyDigest`,
+* an in-flight gauge (current/peak queue depth) — :class:`QueueGauge`.
+
+Everything is aggregated under one :class:`ServiceMetrics` object exposed as
+``QueryService.metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from dataclasses import dataclass, fields
+from typing import Dict, List
+
+__all__ = ["ServiceCounters", "LatencyDigest", "QueueGauge", "ServiceMetrics"]
+
+
+@dataclass
+class ServiceCounters:
+    """Accumulated serving-layer events.
+
+    Attributes
+    ----------
+    queries_served:
+        Submissions answered (batch members and single queries alike).
+    batches_served:
+        ``run_batch`` invocations completed.
+    executions:
+        Queries actually executed against the stores (cache misses after
+        within-batch deduplication).
+    plan_cache_hits / plan_cache_misses:
+        Parsed-plan cache outcomes (a hit skips the SPARQL parser and the
+        complex-subquery identifier).
+    result_cache_hits:
+        Submissions served straight from the result cache.
+    result_cache_misses:
+        Distinct queries that had to be executed (equals ``executions``).
+    duplicates_coalesced:
+        Submissions that shared another submission's execution inside one
+        batch (batch deduplication); counted as neither hit nor miss.
+    invalidations:
+        Result-cache entries dropped because the dual store mutated.
+    stale_rejections:
+        Result-cache entries rejected at lookup time by the generation check
+        (the belt-and-braces path; normally the invalidation hook already
+        emptied the cache).
+    """
+
+    queries_served: int = 0
+    batches_served: int = 0
+    executions: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    duplicates_coalesced: int = 0
+    invalidations: int = 0
+    stale_rejections: int = 0
+
+    def merge(self, other: "ServiceCounters") -> "ServiceCounters":
+        """Return a new counter object with both contributions summed."""
+        merged = ServiceCounters()
+        for f in fields(ServiceCounters):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def add(self, other: "ServiceCounters") -> None:
+        """Accumulate ``other`` into this counter object in place."""
+        for f in fields(ServiceCounters):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: int(getattr(self, f.name)) for f in fields(ServiceCounters)}
+
+    def copy(self) -> "ServiceCounters":
+        clone = ServiceCounters()
+        clone.add(self)
+        return clone
+
+    # Derived rates ---------------------------------------------------- #
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        total = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / total if total else 0.0
+
+
+class LatencyDigest:
+    """Latency samples with exact percentile queries.
+
+    Samples are kept sorted (insertion via ``bisect``), so ``percentile`` is
+    O(1) and ``observe`` is O(n) in the worst case — fine at benchmark scale;
+    a production deployment would swap in a t-digest without changing the
+    interface.
+    """
+
+    def __init__(self) -> None:
+        self._sorted: List[float] = []
+        self._total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        insort(self._sorted, seconds)
+        self._total += seconds
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / len(self._sorted) if self._sorted else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (q in [0, 100]) via nearest-rank."""
+        if not self._sorted:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        rank = max(1, math.ceil(q / 100.0 * len(self._sorted)))
+        return self._sorted[min(rank, len(self._sorted)) - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "total": self.total,
+        }
+
+
+@dataclass
+class QueueGauge:
+    """Current and peak number of in-flight executions."""
+
+    current: int = 0
+    peak: int = 0
+
+    def enter(self) -> None:
+        self.current += 1
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def leave(self) -> None:
+        self.current -= 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"current": self.current, "peak": self.peak}
+
+
+class ServiceMetrics:
+    """Everything the service measures about itself.
+
+    * ``counters`` — event counts (:class:`ServiceCounters`),
+    * ``modelled_latency`` — the cost model's per-submission seconds (the
+      paper's TTI currency; unchanged by caching, so it stays comparable to
+      the uncached experiments),
+    * ``wall_latency`` — wall-clock seconds per store execution (what caching
+      actually improves),
+    * ``queue`` — in-flight execution gauge.
+    """
+
+    def __init__(self) -> None:
+        self.counters = ServiceCounters()
+        self.modelled_latency = LatencyDigest()
+        self.wall_latency = LatencyDigest()
+        self.queue = QueueGauge()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view for logging/printing."""
+        return {
+            "counters": self.counters.as_dict(),
+            "plan_cache_hit_rate": self.counters.plan_cache_hit_rate,
+            "result_cache_hit_rate": self.counters.result_cache_hit_rate,
+            "modelled_latency": self.modelled_latency.as_dict(),
+            "wall_latency": self.wall_latency.as_dict(),
+            "queue": self.queue.as_dict(),
+        }

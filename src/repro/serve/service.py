@@ -1,0 +1,379 @@
+"""The concurrent query-serving layer in front of a :class:`DualStore`.
+
+``DualStore.run_query`` processes one query at a time and re-parses,
+re-identifies, and re-executes from scratch on every call.  That is the right
+granularity for the paper's experiments, but not for *serving* a workload:
+template-driven traffic repeats the same query texts constantly, and batches
+contain outright duplicates.  :class:`QueryService` adds the serving substrate
+on top, without changing any store or tuner semantics:
+
+* a **plan cache** (:mod:`repro.serve.plan_cache`) keyed by canonical query
+  text, so repeated template instantiations skip the SPARQL parser and the
+  complex-subquery identifier;
+* a generation-validated **result cache** (:mod:`repro.serve.result_cache`)
+  invalidated through :meth:`DualStore.add_invalidation_hook`, so a cached
+  answer can never survive an ``insert``/``transfer_partition``/
+  ``evict_partition``;
+* a **batched admission path** (:meth:`QueryService.run_batch`) that
+  deduplicates identical queries within a batch and executes the distinct
+  misses concurrently in a thread pool — query processing only reads store
+  state, so read-side parallelism is safe (see
+  :class:`~repro.core.processor.QueryProcessor`'s concurrency contract);
+* **service metrics** (:mod:`repro.serve.metrics`): cache hit rates, p50/p95
+  latency, and queue depth.
+
+Accounting is preserved: every submitted query yields exactly one
+:class:`~repro.core.metrics.QueryRecord`, and cached/deduplicated records keep
+the modelled ``seconds`` of the execution they share (flagged via
+``record.from_cache``), so TTI computed over served records equals the TTI of
+the uncached loop — the caches buy wall-clock time, not metric distortion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.core.dualstore import DualStore
+from repro.core.metrics import BatchResult, QueryRecord
+from repro.core.processor import ProcessedQuery
+from repro.execution import ExecutionResult
+from repro.rdf.terms import IRI, Triple
+from repro.sparql.ast import SelectQuery
+from repro.sparql.parser import canonical_query_text, parse_query
+
+from repro.serve.lru import LRUCache
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.plan_cache import PlanCache, QueryPlan
+from repro.serve.result_cache import CachedExecution, ResultCache
+
+__all__ = ["ServiceConfig", "ServedBatch", "QueryService"]
+
+#: A query may be submitted as raw SPARQL text or as an already-parsed AST.
+QueryLike = Union[str, SelectQuery]
+
+
+def _result_view(result: ExecutionResult) -> ExecutionResult:
+    """A fresh :class:`ExecutionResult` shell over shared solution data.
+
+    Served results cross the cache boundary in both directions (stored on a
+    miss, returned on a hit), so handing out the cached object itself would
+    let one consumer's in-place edit (sorting bindings, merging counters)
+    corrupt every other consumer.  The shell gets its own bindings list and
+    counters object; the binding dicts themselves are shared and treated as
+    immutable, as everywhere else in the codebase.
+    """
+    return ExecutionResult(
+        bindings=list(result.bindings),
+        variables=result.variables,
+        counters=result.counters.copy(),
+        seconds=result.seconds,
+        store=result.store,
+        truncated=result.truncated,
+    )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the serving layer.
+
+    Attributes
+    ----------
+    plan_cache_size:
+        LRU capacity of the parsed-plan cache (entries = distinct texts).
+    result_cache_size:
+        LRU capacity of the result cache (entries = distinct queries).
+    max_workers:
+        Thread-pool width for batch execution; ``1`` serves batches inline
+        with no pool at all.  With the bundled pure-Python engines the GIL
+        serializes the CPU-bound execution, so the pool mainly exercises the
+        concurrency seam (and shows up in the queue-depth gauge); it pays off
+        for real once a store backend releases the GIL (I/O, native engines).
+    cache_results:
+        Disable to keep only the plan cache (useful for measuring the two
+        caches separately).
+    """
+
+    plan_cache_size: int = 1024
+    result_cache_size: int = 4096
+    max_workers: int = 4
+    cache_results: bool = True
+
+
+@dataclass
+class ServedBatch:
+    """The outcome of one ``run_batch`` call: one entry per submitted query.
+
+    ``cache_hits`` counts submissions answered by the *result cache*;
+    ``coalesced`` counts submissions that shared a batch-mate's execution
+    (within-batch dedup).  Both kinds carry ``record.from_cache = True``;
+    the remaining ``len(self) - cache_hits - coalesced`` submissions were
+    fresh store executions.
+    """
+
+    executions: List[ProcessedQuery] = field(default_factory=list)
+    cache_hits: int = 0
+    coalesced: int = 0
+
+    @property
+    def records(self) -> List[QueryRecord]:
+        return [execution.record for execution in self.executions]
+
+    @property
+    def tti(self) -> float:
+        """Modelled time-to-insight of the batch (sum of record seconds)."""
+        return sum(execution.record.seconds for execution in self.executions)
+
+    def batch_result(self, index: int = 0) -> BatchResult:
+        """Adapt to the experiments' :class:`BatchResult` for TTI reporting."""
+        return BatchResult(index=index, records=self.records)
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+    def __iter__(self):
+        return iter(self.executions)
+
+
+class QueryService:
+    """Serves queries and whole workload batches from a dual store.
+
+    Parameters
+    ----------
+    dual:
+        The (loaded) dual store to front.  The service registers an
+        invalidation hook on it; call :meth:`close` (or use the service as a
+        context manager) to detach it and stop the worker pool.
+    config:
+        Serving tunables; defaults are fine for the bundled benchmarks.
+    """
+
+    def __init__(self, dual: DualStore, config: Optional[ServiceConfig] = None):
+        self.dual = dual
+        self.config = config or ServiceConfig()
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.result_cache = ResultCache(self.config.result_cache_size)
+        # Memo for parsed-query canonical keys: to_sparql() + re-tokenization
+        # is parser-comparable work, so equal queries (not just the same
+        # object) share one computation.  Per-service, so the memory lives
+        # and dies with the service rather than pinning ASTs process-wide.
+        self._key_memo: LRUCache[SelectQuery, str] = LRUCache(
+            self.config.plan_cache_size, what="canonical-key memo"
+        )
+        self.metrics = ServiceMetrics()
+        self._metrics_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        dual.add_invalidation_hook(self._on_mutation)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Detach from the dual store and shut the worker pool down.
+
+        A closed service refuses further serving (``RuntimeError``) — its
+        invalidation hook is gone, so quietly continuing would re-create the
+        worker pool with nobody left to shut it down.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.dual.remove_invalidation_hook(self._on_mutation)
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Plan resolution (text → parsed query + complex subquery)
+    # ------------------------------------------------------------------ #
+    def resolve(self, query: QueryLike) -> QueryPlan:
+        """The cached plan for ``query``, parsing/identifying on a miss.
+
+        Every submission is keyed by :func:`canonical_query_text`, so
+        whitespace/comment/keyword-case variants of one template instantiation
+        share a plan; pre-parsed queries are canonicalized via their
+        deterministic SPARQL rendering, so a parsed query and its
+        expanded-IRI text form share one cache entry too.
+        """
+        if isinstance(query, SelectQuery):
+            key = self._key_memo.get(query)
+            if key is None:
+                key = canonical_query_text(query.to_sparql())
+                self._key_memo.put(query, key)
+            parsed: Optional[SelectQuery] = query
+        else:
+            key = canonical_query_text(query)
+            parsed = None
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            with self._metrics_lock:
+                self.metrics.counters.plan_cache_hits += 1
+            return plan
+        if parsed is None:
+            parsed = parse_query(query)
+        plan = QueryPlan(key=key, query=parsed, complex_subquery=self.dual.identifier.identify(parsed))
+        self.plan_cache.put(plan)
+        with self._metrics_lock:
+            self.metrics.counters.plan_cache_misses += 1
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def run_query(self, query: QueryLike) -> ProcessedQuery:
+        """Serve one query (cache-aware single-query admission)."""
+        return self._serve([query], count_batch=False).executions[0]
+
+    def run_batch(self, queries: Sequence[QueryLike]) -> ServedBatch:
+        """Serve a whole batch: dedup within the batch, check the result
+        cache per distinct query, execute the misses concurrently, and emit
+        one :class:`QueryRecord` per submitted query in submission order."""
+        return self._serve(list(queries), count_batch=True)
+
+    def _serve(self, queries: List[QueryLike], count_batch: bool) -> ServedBatch:
+        if self._closed:
+            raise RuntimeError("QueryService is closed; create a new service to keep serving")
+        self.dual._require_loaded()
+        plans = [self.resolve(query) for query in queries]
+        generation = self.dual.generation
+
+        # First-appearance index per distinct key (within-batch dedup).
+        primaries: Dict[str, int] = {}
+        for index, plan in enumerate(plans):
+            primaries.setdefault(plan.key, index)
+
+        hits: Dict[str, CachedExecution] = {}
+        to_execute: List[QueryPlan] = []
+        for key, index in primaries.items():
+            entry = self.result_cache.get(key, generation) if self.config.cache_results else None
+            if entry is not None:
+                hits[key] = entry
+            else:
+                to_execute.append(plans[index])
+
+        executed: Dict[str, ProcessedQuery] = {}
+        if to_execute:
+            for plan, processed in zip(to_execute, self._execute_all(to_execute)):
+                executed[plan.key] = processed
+
+        # Assemble per-submission entries outside the metrics lock: the
+        # result/record copies are O(total bindings) and must not serialize
+        # concurrent serves.
+        entries: List[ProcessedQuery] = []
+        primary_emitted: Set[str] = set()
+        hit_count = 0
+        coalesced_count = 0
+        miss_count = 0
+        for plan in plans:
+            if plan.key in hits:
+                hit = hits[plan.key]
+                record = hit.record.replicate(from_cache=True)
+                entries.append(ProcessedQuery(result=_result_view(hit.result), record=record))
+                hit_count += 1
+            else:
+                processed = executed[plan.key]
+                if plan.key in primary_emitted:
+                    record = processed.record.replicate(from_cache=True)
+                    entries.append(ProcessedQuery(result=_result_view(processed.result), record=record))
+                    coalesced_count += 1
+                else:
+                    primary_emitted.add(plan.key)
+                    entries.append(processed)
+                    miss_count += 1
+
+        with self._metrics_lock:
+            counters = self.metrics.counters
+            # The cache counts rejections cumulatively under its own lock;
+            # mirror by assignment (not delta) so concurrent serves cannot
+            # cross-count each other's rejections.
+            counters.stale_rejections = self.result_cache.stale_rejections
+            counters.result_cache_hits += hit_count
+            counters.duplicates_coalesced += coalesced_count
+            counters.result_cache_misses += miss_count
+            counters.queries_served += len(plans)
+            for entry in entries:
+                self.metrics.modelled_latency.observe(entry.record.seconds)
+            if count_batch:
+                counters.batches_served += 1
+        return ServedBatch(executions=entries, cache_hits=hit_count, coalesced=coalesced_count)
+
+    def _execute_all(self, plans: List[QueryPlan]) -> List[ProcessedQuery]:
+        if len(plans) == 1 or self.config.max_workers <= 1:
+            return [self._execute(plan) for plan in plans]
+        pool = self._ensure_pool()
+        return list(pool.map(self._execute, plans))
+
+    def _execute(self, plan: QueryPlan) -> ProcessedQuery:
+        with self._metrics_lock:
+            self.metrics.queue.enter()
+        start = time.perf_counter()
+        # Sampled *before* execution: if a mutation lands mid-flight, the
+        # entry is tagged with the older generation and every later lookup
+        # rejects it.
+        generation = self.dual.generation
+        try:
+            processed = self.dual.processor.process(plan.query, plan.complex_subquery)
+        finally:
+            wall = time.perf_counter() - start
+            with self._metrics_lock:
+                self.metrics.queue.leave()
+                self.metrics.wall_latency.observe(wall)
+                self.metrics.counters.executions += 1
+        if self.config.cache_results:
+            # Cache snapshots, not the objects handed to the caller: the
+            # primary submission's consumer may edit its result in place and
+            # must not be able to corrupt later hits.
+            self.result_cache.put(
+                CachedExecution(
+                    key=plan.key,
+                    result=_result_view(processed.result),
+                    record=processed.record.replicate(from_cache=False),
+                    generation=generation,
+                )
+            )
+        return processed
+
+    # ------------------------------------------------------------------ #
+    # Mutations (delegated; the dual store's hooks invalidate the cache)
+    # ------------------------------------------------------------------ #
+    def insert(self, triples: Iterable[Triple]) -> float:
+        return self.dual.insert(triples)
+
+    def transfer_partition(self, predicate: IRI) -> float:
+        return self.dual.transfer_partition(predicate)
+
+    def evict_partition(self, predicate: IRI) -> int:
+        return self.dual.evict_partition(predicate)
+
+    def _on_mutation(self, generation: int) -> None:
+        dropped = self.result_cache.invalidate_all()
+        with self._metrics_lock:
+            self.metrics.counters.invalidations += dropped
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            # Re-checked under the lock: a close() racing an in-flight serve
+            # must not get its freshly shut-down pool resurrected behind it.
+            if self._closed:
+                raise RuntimeError("QueryService is closed; create a new service to keep serving")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.max_workers,
+                    thread_name_prefix="repro-serve",
+                )
+            return self._pool

@@ -12,7 +12,7 @@ from repro.sparql.algebra import (
     shared_variables,
 )
 from repro.sparql.ast import Binding, Filter, SelectQuery, TriplePattern
-from repro.sparql.parser import QueryParser, parse_query
+from repro.sparql.parser import QueryParser, canonical_query_text, parse_query
 from repro.sparql.tokenizer import Token, tokenize
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "TriplePattern",
     "QueryParser",
     "parse_query",
+    "canonical_query_text",
     "Token",
     "tokenize",
     "join_variables",

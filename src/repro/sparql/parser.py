@@ -25,7 +25,7 @@ from repro.rdf.terms import IRI, Literal, TermLike, Variable, XSD_DOUBLE, XSD_IN
 from repro.sparql.ast import Filter, SelectQuery, TriplePattern
 from repro.sparql.tokenizer import Token, tokenize
 
-__all__ = ["parse_query", "QueryParser"]
+__all__ = ["parse_query", "canonical_query_text", "QueryParser"]
 
 
 class QueryParser:
@@ -210,6 +210,33 @@ class QueryParser:
                 "datatype must be an IRI", line=datatype_token.line, column=datatype_token.column
             )
         return Literal(lexical)
+
+
+def canonical_query_text(text: str) -> str:
+    """Canonical form of a query text, suitable as a cache key.
+
+    Two texts that differ only in whitespace, comments, or keyword case map to
+    the same canonical string, while any lexical difference (a different
+    constant, variable, operator, ...) yields a different one.  This is the
+    serving layer's cache key: it only requires tokenization, so repeated
+    template instantiations skip the full parser and the complex-subquery
+    identifier on a plan-cache hit.
+
+    Tokens are re-rendered unambiguously (IRIs re-bracketed, variables with a
+    leading ``?``) so that, e.g., an IRI and a same-spelled prefixed name can
+    never collide.
+    """
+    parts: List[str] = []
+    for token in tokenize(text):
+        if token.type == "KEYWORD":
+            parts.append(token.value.upper())
+        elif token.type == "IRI":
+            parts.append(f"<{token.value}>")
+        elif token.type == "VAR":
+            parts.append(f"?{token.value}")
+        else:
+            parts.append(token.value)
+    return " ".join(parts)
 
 
 def parse_query(text: str, prefixes: PrefixMap | None = None) -> SelectQuery:

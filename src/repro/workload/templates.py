@@ -134,6 +134,23 @@ class Workload:
             counts[entry.family] = counts.get(entry.family, 0) + 1
         return counts
 
+    def stream(self, order: str = "ordered", repeats: int = 2, seed: int = 11) -> List[SelectQuery]:
+        """The workload repeated ``repeats`` times — a serving trace.
+
+        Serving benchmarks (``benchmarks/bench_serving_cache.py``) model
+        steady traffic where the same template instantiations keep arriving;
+        this is the pass structure the serving layer's caches exploit.
+        """
+        if repeats < 1:
+            raise WorkloadError("repeats must be at least 1")
+        if order == "ordered":
+            queries = self.ordered()
+        elif order == "random":
+            queries = self.randomized(seed)
+        else:
+            raise WorkloadError(f"unknown order {order!r}; use 'ordered' or 'random'")
+        return [query for _ in range(repeats) for query in queries]
+
     def subset(self, fraction: float, order: str = "ordered", seed: int = 11) -> List[SelectQuery]:
         """The first ``fraction`` of the workload (used by the Table 5 sweep,
         which runs on half of the random YAGO workload)."""

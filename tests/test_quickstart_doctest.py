@@ -1,0 +1,15 @@
+"""The package-level quickstart must stay executable (ISSUE 1 satellite).
+
+The ``repro/__init__.py`` docstring doubles as the README quickstart; running
+it as a doctest keeps the documented API honest.
+"""
+
+import doctest
+
+import repro
+
+
+def test_quickstart_docstring_is_an_executable_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0, "the quickstart docstring lost its examples"
+    assert results.failed == 0

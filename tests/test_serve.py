@@ -1,0 +1,371 @@
+"""Tests for the serving layer: caches, invalidation, batching, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DualStore, QueryService, ServiceConfig, generate_yago, parse_query, yago_workload
+from repro.serve.metrics import LatencyDigest, ServiceCounters
+from repro.serve.plan_cache import PlanCache, QueryPlan
+from repro.serve.result_cache import CachedExecution, ResultCache
+from repro.sparql.parser import canonical_query_text
+
+ADVISOR_QUERY = """
+SELECT ?p WHERE {
+  ?p y:wasBornIn ?city .
+  ?p y:hasAcademicAdvisor ?a .
+  ?a y:wasBornIn ?city .
+}
+"""
+
+
+def fingerprint(result):
+    """Byte-level fingerprint of a result: sorted N3-rendered rows."""
+    return tuple(sorted(tuple(term.n3() for term in row) for row in result.rows()))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_yago(target_triples=2500, seed=7)
+
+
+@pytest.fixture()
+def dual(dataset):
+    return DualStore().load(dataset.triples)
+
+
+@pytest.fixture()
+def service(dual):
+    with QueryService(dual) as svc:
+        yield svc
+
+
+# ---------------------------------------------------------------------- #
+# Canonicalization
+# ---------------------------------------------------------------------- #
+class TestCanonicalQueryText:
+    def test_whitespace_and_comments_are_ignored(self):
+        spaced = "SELECT ?x  WHERE {\n  ?x y:wasBornIn ?c . # a comment\n}"
+        tight = "select ?x where { ?x y:wasBornIn ?c . }"
+        assert canonical_query_text(spaced) == canonical_query_text(tight)
+
+    def test_lexical_differences_are_preserved(self):
+        a = canonical_query_text("SELECT ?x WHERE { ?x y:wasBornIn ?c . }")
+        b = canonical_query_text("SELECT ?x WHERE { ?x y:diedIn ?c . }")
+        assert a != b
+
+    def test_iri_and_pname_cannot_collide(self):
+        iri = canonical_query_text("SELECT ?x WHERE { ?x <y:p> ?c . }")
+        pname = canonical_query_text("SELECT ?x WHERE { ?x y:p ?c . }")
+        assert iri != pname
+
+
+# ---------------------------------------------------------------------- #
+# Plan cache
+# ---------------------------------------------------------------------- #
+class TestPlanCache:
+    def test_resolve_hits_on_repeated_text(self, service):
+        service.resolve(ADVISOR_QUERY)
+        assert service.metrics.counters.plan_cache_misses == 1
+        service.resolve("  " + ADVISOR_QUERY.replace("\n", " "))
+        assert service.metrics.counters.plan_cache_hits == 1
+        assert service.metrics.counters.plan_cache_misses == 1
+
+    def test_resolve_identifies_complex_subquery_once(self, service):
+        plan = service.resolve(ADVISOR_QUERY)
+        assert plan.complex_subquery is not None
+        again = service.resolve(ADVISOR_QUERY)
+        assert again is plan  # the very same cached object
+
+    def test_parsed_queries_use_deterministic_key(self, service):
+        query = parse_query(ADVISOR_QUERY)
+        service.resolve(query)
+        assert service.resolve(parse_query(ADVISOR_QUERY)).key == canonical_query_text(query.to_sparql())
+        assert service.metrics.counters.plan_cache_hits == 1
+
+    def test_parsed_query_and_its_text_form_share_one_plan(self, service):
+        query = parse_query(ADVISOR_QUERY)
+        plan_from_ast = service.resolve(query)
+        plan_from_text = service.resolve(query.to_sparql())
+        assert plan_from_text is plan_from_ast
+        assert service.metrics.counters.plan_cache_hits == 1
+
+    def test_mixed_form_submissions_deduplicate_in_a_batch(self, service):
+        query = parse_query(ADVISOR_QUERY)
+        served = service.run_batch([query, query.to_sparql()])
+        assert len(served.records) == 2
+        assert service.metrics.counters.executions == 1
+        assert served.coalesced == 1
+
+    def test_lru_capacity_eviction(self):
+        cache = PlanCache(capacity=2)
+        q = parse_query("SELECT ?x WHERE { ?x y:wasBornIn ?c . }")
+        for key in ("a", "b", "c"):
+            cache.put(QueryPlan(key=key, query=q, complex_subquery=None))
+        assert len(cache) == 2
+        assert "a" not in cache and "c" in cache
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+# ---------------------------------------------------------------------- #
+# Result cache + invalidation contract
+# ---------------------------------------------------------------------- #
+class TestResultCacheInvalidation:
+    def test_second_serve_is_a_cache_hit_and_byte_identical(self, service):
+        cold = service.run_query(ADVISOR_QUERY)
+        warm = service.run_query(ADVISOR_QUERY)
+        assert not cold.record.from_cache
+        assert warm.record.from_cache
+        assert fingerprint(warm.result) == fingerprint(cold.result)
+        assert warm.record.seconds == cold.record.seconds
+        assert warm.record.route == cold.record.route
+
+    def test_insert_invalidates(self, service, dataset):
+        service.run_query(ADVISOR_QUERY)
+        assert len(service.result_cache) == 1
+        service.insert([next(iter(dataset.triples))])
+        assert len(service.result_cache) == 0
+        assert service.metrics.counters.invalidations == 1
+        after = service.run_query(ADVISOR_QUERY)
+        assert not after.record.from_cache
+
+    def test_transfer_partition_invalidates_and_reroutes(self, service, dual):
+        cold = service.run_query(ADVISOR_QUERY)
+        assert cold.record.route == "relational"
+        for predicate in parse_query(ADVISOR_QUERY).predicates():
+            service.transfer_partition(predicate)
+        assert len(service.result_cache) == 0
+        warm = service.run_query(ADVISOR_QUERY)
+        assert not warm.record.from_cache
+        assert warm.record.route == "graph"
+        assert fingerprint(warm.result) == fingerprint(cold.result)
+
+    def test_evict_partition_invalidates(self, service, dual):
+        predicates = sorted(parse_query(ADVISOR_QUERY).predicates(), key=lambda p: p.value)
+        for predicate in predicates:
+            service.transfer_partition(predicate)
+        graph_served = service.run_query(ADVISOR_QUERY)
+        assert graph_served.record.route == "graph"
+        service.evict_partition(predicates[0])
+        assert len(service.result_cache) == 0
+        back = service.run_query(ADVISOR_QUERY)
+        assert not back.record.from_cache
+        assert back.record.route == "relational"
+
+    def test_generation_check_rejects_stale_entries_without_hook(self, service, dual):
+        # Plant an entry tagged with an outdated generation directly, modelling
+        # a hook-less cache: the lookup-time generation check must reject it.
+        cold = service.run_query(ADVISOR_QUERY)
+        key = service.resolve(ADVISOR_QUERY).key
+        service.result_cache.put(
+            CachedExecution(
+                key=key,
+                result=cold.result,
+                record=cold.record,
+                generation=dual.generation - 1,
+            )
+        )
+        assert service.result_cache.get(key, dual.generation) is None
+        assert service.result_cache.stale_rejections == 1
+
+    def test_load_bumps_generation(self, dataset):
+        dual = DualStore()
+        assert dual.generation == 0
+        dual.load(dataset.triples)
+        assert dual.generation == 1
+
+    def test_close_detaches_hook(self, dual):
+        service = QueryService(dual)
+        service.close()
+        dual.insert([])  # must not call into a closed service
+        assert service.metrics.counters.invalidations == 0
+
+    def test_closed_service_refuses_to_serve(self, dual):
+        service = QueryService(dual)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            service.run_query(ADVISOR_QUERY)
+
+    def test_consumer_mutation_cannot_corrupt_the_cache(self, service):
+        cold = service.run_query(ADVISOR_QUERY)
+        pristine = fingerprint(cold.result)
+        cold.result.bindings.clear()  # a consumer post-processing in place
+        warm = service.run_query(ADVISOR_QUERY)
+        assert warm.record.from_cache
+        assert fingerprint(warm.result) == pristine
+        warm.result.bindings.clear()  # mutating a hit must not corrupt either
+        again = service.run_query(ADVISOR_QUERY)
+        assert fingerprint(again.result) == pristine
+
+    def test_cache_results_disabled(self, dual):
+        with QueryService(dual, ServiceConfig(cache_results=False)) as service:
+            service.run_query(ADVISOR_QUERY)
+            service.run_query(ADVISOR_QUERY)
+            assert service.metrics.counters.result_cache_hits == 0
+            assert service.metrics.counters.executions == 2
+            assert len(service.result_cache) == 0
+
+    def test_result_cache_lru_eviction(self):
+        cache = ResultCache(capacity=1)
+        record = object()
+        cache.put(CachedExecution(key="a", result=None, record=record, generation=1))
+        cache.put(CachedExecution(key="b", result=None, record=record, generation=1))
+        assert len(cache) == 1 and "a" not in cache
+
+
+# ---------------------------------------------------------------------- #
+# Batched admission
+# ---------------------------------------------------------------------- #
+class TestRunBatch:
+    def test_one_record_per_submission_with_duplicates(self, service, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        duplicated = list(batch) + list(batch)  # every query submitted twice
+        served = service.run_batch(duplicated)
+        assert len(served.records) == len(duplicated)
+        assert service.metrics.counters.executions == len({q.to_sparql() for q in batch})
+        assert served.coalesced >= len(batch)
+        # Submissions sharing an execution still account the same modelled cost.
+        for first, second in zip(served.executions, served.executions[len(batch):]):
+            assert second.record.seconds == first.record.seconds
+            assert fingerprint(second.result) == fingerprint(first.result)
+
+    def test_batch_matches_uncached_loop_byte_for_byte(self, service, dual, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("random")[0]
+        uncached = [dual.run_query(q) for q in batch]
+        served = service.run_batch(batch)
+        assert len(served) == len(batch)
+        for cold, warm in zip(uncached, served):
+            assert fingerprint(warm.result) == fingerprint(cold.result)
+            assert warm.record.seconds == cold.record.seconds
+            assert warm.record.route == cold.record.route
+        # Modelled TTI is preserved: caching does not distort the experiments'
+        # accounting currency.
+        assert served.tti == pytest.approx(sum(r.record.seconds for r in uncached))
+
+    def test_second_pass_is_all_hits(self, service, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        service.run_batch(batch)
+        executions_before = service.metrics.counters.executions
+        again = service.run_batch(batch)
+        assert again.cache_hits == len(batch)
+        assert service.metrics.counters.executions == executions_before
+
+    def test_inline_execution_with_single_worker(self, dual, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        with QueryService(dual, ServiceConfig(max_workers=1)) as service:
+            served = service.run_batch(batch)
+            assert len(served) == len(batch)
+            assert service._pool is None  # never spun up a pool
+
+    def test_threaded_equals_inline(self, dual, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("random")[1]
+        with QueryService(dual, ServiceConfig(max_workers=1)) as inline_service:
+            inline = inline_service.run_batch(batch)
+        with QueryService(dual, ServiceConfig(max_workers=8)) as threaded_service:
+            threaded = threaded_service.run_batch(batch)
+        for a, b in zip(inline, threaded):
+            assert fingerprint(a.result) == fingerprint(b.result)
+            assert a.record.seconds == b.record.seconds
+
+    def test_batch_result_adapter(self, service, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        served = service.run_batch(batch)
+        adapted = served.batch_result(index=3)
+        assert adapted.index == 3
+        assert len(adapted) == len(batch)
+        assert adapted.tti == pytest.approx(served.tti)
+
+    def test_unloaded_store_raises(self):
+        from repro.errors import TuningError
+
+        with QueryService(DualStore()) as service:
+            with pytest.raises(TuningError):
+                service.run_query(ADVISOR_QUERY)
+
+
+# ---------------------------------------------------------------------- #
+# Metrics
+# ---------------------------------------------------------------------- #
+class TestServiceMetrics:
+    def test_latency_digest_percentiles(self):
+        digest = LatencyDigest()
+        for value in [5.0, 1.0, 2.0, 4.0, 3.0]:
+            digest.observe(value)
+        assert digest.count == 5
+        assert digest.p50 == 3.0
+        assert digest.p95 == 5.0
+        assert digest.mean == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            digest.percentile(101.0)
+
+    def test_latency_digest_nearest_rank_on_even_counts(self):
+        digest = LatencyDigest()
+        digest.observe(1.0)
+        digest.observe(2.0)
+        assert digest.p50 == 1.0  # nearest-rank: ceil(0.5 * 2) = rank 1
+        for value in [3.0, 4.0, 5.0, 6.0]:
+            digest.observe(value)
+        assert digest.p50 == 3.0  # ceil(0.5 * 6) = rank 3
+        assert digest.percentile(100.0) == 6.0
+        assert digest.percentile(0.0) == 1.0
+
+    def test_empty_digest(self):
+        digest = LatencyDigest()
+        assert digest.p50 == 0.0 and digest.p95 == 0.0 and digest.mean == 0.0
+
+    def test_counters_merge_and_rates(self):
+        a = ServiceCounters(result_cache_hits=3, result_cache_misses=1)
+        b = ServiceCounters(result_cache_hits=1, plan_cache_misses=2)
+        merged = a.merge(b)
+        assert merged.result_cache_hits == 4
+        assert merged.result_cache_misses == 1
+        assert merged.result_cache_hit_rate == pytest.approx(0.8)
+        assert ServiceCounters().result_cache_hit_rate == 0.0
+
+    def test_service_snapshot_after_traffic(self, service, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        service.run_batch(batch)
+        service.run_batch(batch)
+        snapshot = service.metrics.snapshot()
+        assert snapshot["counters"]["batches_served"] == 2
+        assert snapshot["result_cache_hit_rate"] > 0.0
+        assert snapshot["modelled_latency"]["count"] == 2 * len(batch)
+        assert snapshot["queue"]["current"] == 0
+        assert snapshot["queue"]["peak"] >= 1
+        assert snapshot["wall_latency"]["p95"] >= snapshot["wall_latency"]["p50"]
+
+
+# ---------------------------------------------------------------------- #
+# Workload serving trace
+# ---------------------------------------------------------------------- #
+class TestWorkloadStream:
+    def test_stream_repeats_the_workload(self, dataset):
+        workload = yago_workload(dataset)
+        trace = workload.stream(order="ordered", repeats=3)
+        assert len(trace) == 3 * len(workload)
+        assert trace[: len(workload)] == workload.ordered()
+
+    def test_stream_rejects_bad_repeats(self, dataset):
+        from repro.errors import WorkloadError
+
+        workload = yago_workload(dataset)
+        with pytest.raises(WorkloadError):
+            workload.stream(repeats=0)
+
+    def test_stream_rejects_unknown_order(self, dataset):
+        from repro.errors import WorkloadError
+
+        workload = yago_workload(dataset)
+        with pytest.raises(WorkloadError):
+            workload.stream(order="orderd")
