@@ -1,0 +1,85 @@
+"""Benchmark S2 — scatter-gather speedup of the sharded relational store.
+
+Runs the full WatDiv stand-in workload against ``ShardedRelationalStore`` for
+1, 2, and 4 shards (plus an unsharded reference) and reports the modelled
+batch wall-clock under the scatter-gather cost model.  Two invariants are
+asserted:
+
+* **sum-of-work is unchanged** — every shard count performs exactly the work
+  the unsharded store performs (the differential suite's property, re-checked
+  here over the whole batch), and
+* **modelled wall-clock decreases monotonically** from 1 to 4 shards: more
+  shards means mega-predicate scans split further, so the per-step
+  max-over-shards shrinks while total work stays fixed.
+
+Run with::
+
+    pytest benchmarks/bench_sharding.py --benchmark-only -s
+"""
+
+from conftest import run_once
+
+from repro import RelationalStore, ShardedRelationalStore, ShardingConfig, generate_watdiv, watdiv_workload
+from repro.relstore.executor import relational_work_units
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: Shard mega-predicates aggressively so the WatDiv stand-in (whose biggest
+#: partitions are the per-user attribute predicates) actually splits.
+BENCH_SHARDING_CONFIG = ShardingConfig(skew_threshold=0.1, min_subject_shard_rows=16)
+
+
+def _run_batch(store, queries):
+    """Execute the batch; return (modelled wall-clock, total work units)."""
+    wall = 0.0
+    work = 0.0
+    for query in queries:
+        result = store.execute(query)
+        wall += result.seconds
+        work += relational_work_units(result.counters)
+    return wall, work
+
+
+def test_sharded_scatter_gather_speedup(benchmark, bench_settings):
+    dataset = generate_watdiv(
+        target_triples=bench_settings.watdiv_triples, seed=bench_settings.seed
+    )
+    workload = watdiv_workload(dataset)
+    queries = workload.randomized(seed=bench_settings.seed)
+
+    reference = RelationalStore()
+    reference.load(dataset.triples)
+    reference_wall, reference_work = _run_batch(reference, queries)
+
+    walls = {}
+    print()
+    for shards in SHARD_COUNTS:
+        store = ShardedRelationalStore(shards=shards, config=BENCH_SHARDING_CONFIG)
+        store.load(dataset.triples)
+        wall, work = _run_batch(store, queries)
+        walls[shards] = wall
+        # Sum-of-work is shard-invariant and equals the unsharded store's.
+        assert work == reference_work, (
+            f"total work changed under sharding: {work} != {reference_work} at N={shards}"
+        )
+        busy = [entry["busy_seconds"] for entry in store.shard_metrics.snapshot()]
+        print(
+            f"BENCH_SHARDING shards={shards} modelled_wall={wall * 1000:.1f}ms "
+            f"unsharded={reference_wall * 1000:.1f}ms speedup={reference_wall / wall:.2f}x "
+            f"work_units={work:.0f} subject_sharded={len(store.subject_sharded_predicates())} "
+            f"busiest_shard={max(busy) * 1000:.1f}ms idlest_shard={min(busy) * 1000:.1f}ms"
+        )
+
+    # One shard prices like the unsharded store (same serial pipeline; the
+    # tolerance covers float summation-order noise over hundreds of queries).
+    assert abs(walls[1] - reference_wall) / reference_wall < 1e-4
+
+    # Modelled wall-clock decreases monotonically as shards are added.
+    assert walls[1] > walls[2] > walls[4], (
+        f"modelled wall-clock must decrease monotonically 1 -> 4 shards, got {walls}"
+    )
+
+    # Register the 4-shard batch with pytest-benchmark for the record.
+    store = ShardedRelationalStore(shards=4, config=BENCH_SHARDING_CONFIG)
+    store.load(dataset.triples)
+    run_once(benchmark, _run_batch, store, queries)

@@ -73,7 +73,13 @@ from repro.core import (
 from repro.cost import CostModel, DEFAULT_COST_MODEL, ResourceThrottle, SimulatedClock, WorkCounters
 from repro.graphstore import GraphStore, PropertyGraph
 from repro.rdf import IRI, Literal, TripleSet, Triple, Variable
-from repro.relstore import RelationalStore, SQLiteBackend
+from repro.relstore import (
+    RelationalBackend,
+    RelationalStore,
+    ShardedRelationalStore,
+    ShardingConfig,
+    SQLiteBackend,
+)
 from repro.serve import QueryService, ServedBatch, ServiceConfig, ServiceMetrics
 from repro.sparql import SelectQuery, TriplePattern, canonical_query_text, parse_query
 from repro.workload import (
@@ -117,7 +123,10 @@ __all__ = [
     "run_workload",
     "run_workload_repeated",
     # stores
+    "RelationalBackend",
     "RelationalStore",
+    "ShardedRelationalStore",
+    "ShardingConfig",
     "SQLiteBackend",
     "GraphStore",
     "PropertyGraph",

@@ -24,7 +24,9 @@ from repro.errors import StorageBudgetExceeded, TuningError
 from repro.execution import ExecutionResult
 from repro.rdf.graph import TripleSet
 from repro.rdf.terms import IRI, Triple
+from repro.relstore.backend import RelationalBackend
 from repro.relstore.executor import relational_work_units
+from repro.relstore.sharded import ShardedRelationalStore, ShardingConfig
 from repro.relstore.store import RelationalStore
 from repro.graphstore.store import GraphStore
 from repro.sparql.ast import SelectQuery
@@ -53,6 +55,20 @@ class DualStore:
         experiments).
     storage_budget:
         Explicit budget in triples; overrides ``config.r_bg`` when given.
+    shards:
+        When given, the relational master copy is a
+        :class:`~repro.relstore.sharded.ShardedRelationalStore` with that
+        many shards (scatter-gather execution, identical logical work;
+        ``shards=1`` builds a degenerate one-shard store that prices like
+        the unsharded one but still reports a scatter breakdown).
+    sharding:
+        Placement tunables for the sharded store; giving only this builds a
+        sharded store with :class:`ShardedRelationalStore`'s own default
+        shard count.
+    relational_store:
+        An already-built :class:`~repro.relstore.backend.RelationalBackend`
+        to use instead of constructing one (overrides ``shards``/``sharding``;
+        the caller is responsible for matching cost models).
     """
 
     def __init__(
@@ -61,10 +77,22 @@ class DualStore:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         throttle: Optional[ResourceThrottle] = None,
         storage_budget: Optional[int] = None,
+        shards: Optional[int] = None,
+        sharding: Optional[ShardingConfig] = None,
+        relational_store: Optional[RelationalBackend] = None,
     ):
         self.config = config
         self.cost_model = cost_model
-        self.relational = RelationalStore(cost_model=cost_model)
+        if relational_store is not None:
+            self.relational: RelationalBackend = relational_store
+        elif shards is not None:
+            self.relational = ShardedRelationalStore(
+                shards=shards, cost_model=cost_model, config=sharding
+            )
+        elif sharding is not None:
+            self.relational = ShardedRelationalStore(cost_model=cost_model, config=sharding)
+        else:
+            self.relational = RelationalStore(cost_model=cost_model)
         self.graph = GraphStore(storage_budget=storage_budget, cost_model=cost_model, throttle=throttle)
         self.identifier = ComplexSubqueryIdentifier()
         self.processor = QueryProcessor(self.relational, self.graph, cost_model=cost_model)

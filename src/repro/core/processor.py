@@ -24,7 +24,7 @@ from typing import Optional
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.execution import ExecutionResult, ResultTable
 from repro.graphstore.store import GraphStore
-from repro.relstore.store import RelationalStore
+from repro.relstore.backend import RelationalBackend
 from repro.sparql.ast import SelectQuery
 
 from repro.core.identifier import ComplexSubquery
@@ -62,11 +62,16 @@ class QueryProcessor:
     ``transfer_partition``, ``evict_partition`` — runs concurrently.  The only
     processor-owned mutable state is the temporary-table name counter, which
     is guarded by a lock.
+
+    The relational side is any :class:`~repro.relstore.backend.RelationalBackend`;
+    with a sharded backend, Case 2/3 executions scatter-gather across shards
+    transparently (the migrated intermediate table joins centrally at the
+    coordinator, so split plans need no shard awareness here).
     """
 
     def __init__(
         self,
-        relational: RelationalStore,
+        relational: RelationalBackend,
         graph: GraphStore,
         cost_model: CostModel = DEFAULT_COST_MODEL,
     ):
@@ -156,6 +161,7 @@ class QueryProcessor:
             counters=combined_counters,
             seconds=total_seconds,
             store="dual",
+            scatter=relational_result.scatter,  # the relational leg's per-shard view
         )
         record = QueryRecord(
             query=query,

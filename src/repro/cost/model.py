@@ -88,6 +88,41 @@ class CostModel:
             return 0.0
         return self.migration_overhead + rows * self.migration_per_row
 
+    def relational_scan_seconds(self, rows_scanned: int, index_lookups: int = 0) -> float:
+        """Price of the scan/index share of relational work, no fixed overhead.
+
+        This is the unit the sharded store's scatter-gather accounting works
+        in: one shard's probe of one plan step costs
+        ``relational_scan_seconds(rows, lookups)``, and a step's *parallel*
+        cost is the max of its probe costs while its *total work* is their
+        sum (see :meth:`scatter_gather_seconds`).
+        """
+        return (
+            rows_scanned * self.relational_row_scan
+            + index_lookups * self.relational_index_lookup
+        )
+
+    def scatter_gather_seconds(self, step_shard_costs, central_counters: WorkCounters) -> float:
+        """Modelled parallel wall-clock of one scatter-gather execution.
+
+        ``step_shard_costs`` is one sequence per plan step containing the
+        priced probe cost of every shard that step touched; shards probe
+        concurrently, so each step contributes the *max* of its probe costs
+        (with one shard this degenerates to the serial sum).
+        ``central_counters`` hold the coordinator's serial share — join work,
+        migrated-table scans, and result materialisation — which is priced
+        exactly like :meth:`relational_query_seconds` prices it.  The fixed
+        per-query overhead is charged once, not per shard.
+        """
+        # One pricing polynomial: the central share reuses the serial query
+        # pricing verbatim (which also charges the fixed overhead once), so
+        # the two paths can never drift apart.
+        parallel = self.relational_query_seconds(central_counters)
+        for shard_costs in step_shard_costs:
+            if shard_costs:
+                parallel += max(shard_costs)
+        return parallel
+
     # ------------------------------------------------------------------ #
     # Bulk operations
     # ------------------------------------------------------------------ #

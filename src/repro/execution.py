@@ -3,13 +3,50 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.counters import WorkCounters
 from repro.rdf.terms import TermLike
 from repro.sparql.ast import Binding
 
-__all__ = ["ExecutionResult", "ResultTable"]
+__all__ = ["ExecutionResult", "ResultTable", "ScatterGatherInfo"]
+
+
+@dataclass(frozen=True)
+class ScatterGatherInfo:
+    """Per-shard breakdown of one scatter-gather execution.
+
+    Attached to :attr:`ExecutionResult.scatter` by the sharded relational
+    store; ``None`` on single-store executions.
+
+    Attributes
+    ----------
+    shard_seconds:
+        Modelled busy seconds each shard spent probing for this query
+        (index ``i`` = shard ``i``; zero for shards the plan never touched).
+    parallel_seconds:
+        Modelled wall-clock under the scatter-gather model: per plan step
+        the slowest shard probe, plus the coordinator's serial merge work.
+        For a result produced by the sharded relational store itself this
+        equals :attr:`ExecutionResult.seconds`; on a split (``store="dual"``)
+        result the info covers only the *relational leg*, while ``seconds``
+        additionally includes the graph and migration legs.
+    serial_seconds:
+        What the same work would cost on one shard (the classic
+        ``relational_query_seconds`` price of the total counters); the
+        sum-of-work currency the differential suite compares.
+    """
+
+    shard_seconds: Tuple[float, ...]
+    parallel_seconds: float
+    serial_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Modelled serial/parallel ratio (≥ 1.0 when sharding helps)."""
+        if self.parallel_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.parallel_seconds
 
 
 @dataclass
@@ -40,6 +77,8 @@ class ExecutionResult:
     seconds: float = 0.0
     store: str = "relational"
     truncated: bool = False
+    #: Per-shard accounting when the execution was scatter-gathered.
+    scatter: Optional[ScatterGatherInfo] = None
 
     def __len__(self) -> int:
         return len(self.bindings)

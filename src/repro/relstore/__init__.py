@@ -1,7 +1,9 @@
-"""Relational store (MySQL stand-in): triple table, planner, executor, views, SQLite."""
+"""Relational store (MySQL stand-in): triple table, planner, executor, views, SQLite, shards."""
 
+from repro.relstore.backend import RelationalBackend
 from repro.relstore.executor import RelationalExecutor, relational_work_units
 from repro.relstore.planner import PatternAccess, RelationalPlan, plan_query
+from repro.relstore.sharded import ShardedRelationalStore, ShardingConfig, ShardMetricsBoard
 from repro.relstore.sql_compiler import CompiledSQL, compile_select
 from repro.relstore.sqlite_backend import SQLiteBackend
 from repro.relstore.stats import TableStatistics, collect_statistics
@@ -10,7 +12,11 @@ from repro.relstore.table import TripleTable
 from repro.relstore.views import MaterializedView, MaterializedViewManager, canonical_pattern_key
 
 __all__ = [
+    "RelationalBackend",
     "RelationalStore",
+    "ShardedRelationalStore",
+    "ShardingConfig",
+    "ShardMetricsBoard",
     "TripleTable",
     "RelationalExecutor",
     "relational_work_units",

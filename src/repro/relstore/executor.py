@@ -15,6 +15,11 @@ work units to a :class:`~repro.cost.counters.WorkCounters` instance:
 A *work budget* may be supplied; when the accumulated work exceeds it the
 executor aborts with :class:`~repro.errors.WorkBudgetExceeded`, which is how
 the tuner's counterfactual scenario caps the relational run at ``λ·c₁``.
+
+The join, filter, projection, and budget helpers live at module level so that
+the sharded scatter-gather executor (:mod:`repro.relstore.sharded`) evaluates
+queries with the *same* code and therefore charges identical logical work —
+the property the differential sharding suite asserts.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 from repro.cost.counters import WorkCounters
 from repro.errors import QueryExecutionError, WorkBudgetExceeded
 from repro.execution import ExecutionResult, ResultTable
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.terms import TermLike, Variable
 from repro.sparql.ast import Binding, Filter, SelectQuery, TriplePattern
 from repro.sparql.algebra import merge_bindings
@@ -31,7 +37,19 @@ from repro.sparql.algebra import merge_bindings
 from repro.relstore.planner import PatternAccess, RelationalPlan
 from repro.relstore.table import Row, TripleTable
 
-__all__ = ["RelationalExecutor", "relational_work_units"]
+__all__ = [
+    "RelationalExecutor",
+    "relational_work_units",
+    "bind_pattern_row",
+    "join_pattern_rows",
+    "join_result_table",
+    "join_extra_tables",
+    "finish_pipeline",
+    "apply_filters",
+    "project_bindings",
+    "distinct_bindings",
+    "check_work_budget",
+]
 
 
 def relational_work_units(counters: WorkCounters) -> float:
@@ -46,6 +64,168 @@ def relational_work_units(counters: WorkCounters) -> float:
         + 0.3 * counters.rows_joined
         + 0.2 * counters.index_lookups
         + 1.25 * counters.view_rows_scanned
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Shared evaluation primitives (used by both the single-table executor
+# and the sharded scatter-gather executor)
+# ---------------------------------------------------------------------- #
+def bind_pattern_row(
+    dictionary: TermDictionary, pattern: TriplePattern, row: Row
+) -> Optional[Binding]:
+    """Match one stored row against a pattern, producing a binding."""
+    binding: Binding = {}
+    for term, term_id in zip((pattern.subject, pattern.predicate, pattern.object), row):
+        if isinstance(term, Variable):
+            value = dictionary.decode(term_id)
+            existing = binding.get(term.name)
+            if existing is not None and existing != value:
+                return None
+            binding[term.name] = value
+        else:
+            stored: TermLike = dictionary.decode(term_id)
+            if stored != term:
+                return None
+    return binding
+
+
+def join_pattern_rows(
+    bindings: List[Binding],
+    pattern: TriplePattern,
+    pattern_rows: List[Binding],
+    counters: WorkCounters,
+) -> List[Binding]:
+    """Hash-join already-materialized pattern bindings into the pipeline.
+
+    Charges ``rows_joined`` per produced tuple, exactly like the inline join
+    of :class:`RelationalExecutor`.
+    """
+    if not bindings or not pattern_rows:
+        return []
+
+    # Hash join on the shared variables (if any); cartesian product otherwise.
+    if bindings == [{}]:
+        counters.rows_joined += len(pattern_rows)
+        return pattern_rows
+
+    shared = _shared_variable_names(bindings[0], pattern)
+    output: List[Binding] = []
+    if shared:
+        index: Dict[tuple, List[Binding]] = {}
+        for row_binding in pattern_rows:
+            key = tuple(row_binding[name] for name in shared)
+            index.setdefault(key, []).append(row_binding)
+        for binding in bindings:
+            key = tuple(binding[name] for name in shared)
+            for row_binding in index.get(key, ()):
+                merged = merge_bindings(binding, row_binding)
+                if merged is not None:
+                    output.append(merged)
+    else:
+        for binding in bindings:
+            for row_binding in pattern_rows:
+                merged = merge_bindings(binding, row_binding)
+                if merged is not None:
+                    output.append(merged)
+    counters.rows_joined += len(output)
+    return output
+
+
+def join_result_table(
+    bindings: List[Binding],
+    table: ResultTable,
+    counters: WorkCounters,
+    as_view: bool = False,
+) -> List[Binding]:
+    """Join a migrated intermediate-result table into the pipeline."""
+    if not bindings:
+        return []
+    if as_view:
+        counters.view_rows_scanned += len(table)
+    else:
+        counters.rows_scanned += len(table)
+    table_bindings = table.to_bindings()
+    if bindings == [{}]:
+        counters.rows_joined += len(table_bindings)
+        return table_bindings
+    output: List[Binding] = []
+    for binding in bindings:
+        for table_binding in table_bindings:
+            merged = merge_bindings(binding, table_binding)
+            if merged is not None:
+                output.append(merged)
+    counters.rows_joined += len(output)
+    return output
+
+
+def apply_filters(bindings: List[Binding], filters: tuple[Filter, ...]) -> List[Binding]:
+    if not filters:
+        return bindings
+    return [b for b in bindings if all(f.evaluate(b) for f in filters)]
+
+
+def project_bindings(bindings: List[Binding], query: SelectQuery) -> List[Binding]:
+    names = query.projected_names()
+    projected: List[Binding] = []
+    for binding in bindings:
+        projected.append({name: binding[name] for name in names if name in binding})
+    return projected
+
+
+def distinct_bindings(bindings: List[Binding], names: tuple[str, ...]) -> List[Binding]:
+    seen: set[tuple] = set()
+    unique: List[Binding] = []
+    for binding in bindings:
+        key = tuple(binding.get(name) for name in names)
+        if key not in seen:
+            seen.add(key)
+            unique.append(binding)
+    return unique
+
+
+def check_work_budget(counters: WorkCounters, work_budget: Optional[float]) -> None:
+    if work_budget is None:
+        return
+    spent = relational_work_units(counters)
+    if spent > work_budget:
+        raise WorkBudgetExceeded(
+            f"relational execution exceeded its work budget ({spent:.0f} > {work_budget:.0f})",
+            partial_work=spent,
+        )
+
+
+def join_extra_tables(
+    bindings: List[Binding],
+    extra_tables: Optional[Iterable[ResultTable]],
+    counters: WorkCounters,
+    tables_are_views: bool,
+    work_budget: Optional[float],
+) -> List[Binding]:
+    """The pipeline prologue: join migrated tables, budget-checked per table."""
+    for table in extra_tables or ():
+        bindings = join_result_table(bindings, table, counters, as_view=tables_are_views)
+        check_work_budget(counters, work_budget)
+    return bindings
+
+
+def finish_pipeline(
+    bindings: List[Binding], query: SelectQuery, counters: WorkCounters
+) -> ExecutionResult:
+    """The pipeline epilogue: filters, projection, DISTINCT, LIMIT, result
+    accounting — shared so the sharded and unsharded stores cannot diverge."""
+    bindings = apply_filters(bindings, query.filters)
+    bindings = project_bindings(bindings, query)
+    if query.distinct:
+        bindings = distinct_bindings(bindings, query.projected_names())
+    if query.limit is not None:
+        bindings = bindings[: query.limit]
+    counters.results_produced += len(bindings)
+    return ExecutionResult(
+        bindings=bindings,
+        variables=tuple(query.projected_names()),
+        counters=counters,
+        store="relational",
     )
 
 
@@ -76,100 +256,19 @@ class RelationalExecutor:
         """
         counters = WorkCounters(queries_issued=1)
         bindings: List[Binding] = [{}]
-
-        for table in extra_tables or ():
-            bindings = self._join_result_table(bindings, table, counters, as_view=tables_are_views)
-            self._check_budget(counters, work_budget)
+        bindings = join_extra_tables(bindings, extra_tables, counters, tables_are_views, work_budget)
 
         for step in plan:
-            bindings = self._join_pattern(bindings, step, counters)
-            self._check_budget(counters, work_budget)
+            # Guard before scanning: once the pipeline is empty (e.g. a Case 2
+            # plan whose migrated table had no rows), later steps must charge
+            # zero work, exactly like the pre-refactor executor.
             if not bindings:
                 break
+            pattern_rows = list(self._pattern_bindings(step, counters))
+            bindings = join_pattern_rows(bindings, step.pattern, pattern_rows, counters)
+            check_work_budget(counters, work_budget)
 
-        bindings = self._apply_filters(bindings, query.filters)
-        bindings = self._project(bindings, query)
-        if query.distinct:
-            bindings = _distinct(bindings, query.projected_names())
-        if query.limit is not None:
-            bindings = bindings[: query.limit]
-        counters.results_produced += len(bindings)
-
-        return ExecutionResult(
-            bindings=bindings,
-            variables=tuple(query.projected_names()),
-            counters=counters,
-            store="relational",
-        )
-
-    # ------------------------------------------------------------------ #
-    # Join steps
-    # ------------------------------------------------------------------ #
-    def _join_pattern(
-        self,
-        bindings: List[Binding],
-        step: PatternAccess,
-        counters: WorkCounters,
-    ) -> List[Binding]:
-        if not bindings:
-            return []
-        pattern = step.pattern
-        pattern_rows = list(self._pattern_bindings(step, counters))
-        if not pattern_rows:
-            return []
-
-        # Hash join on the shared variables (if any); cartesian product otherwise.
-        if bindings == [{}]:
-            counters.rows_joined += len(pattern_rows)
-            return pattern_rows
-
-        shared = _shared_variable_names(bindings[0], pattern)
-        output: List[Binding] = []
-        if shared:
-            index: Dict[tuple, List[Binding]] = {}
-            for row_binding in pattern_rows:
-                key = tuple(row_binding[name] for name in shared)
-                index.setdefault(key, []).append(row_binding)
-            for binding in bindings:
-                key = tuple(binding[name] for name in shared)
-                for row_binding in index.get(key, ()):
-                    merged = merge_bindings(binding, row_binding)
-                    if merged is not None:
-                        output.append(merged)
-        else:
-            for binding in bindings:
-                for row_binding in pattern_rows:
-                    merged = merge_bindings(binding, row_binding)
-                    if merged is not None:
-                        output.append(merged)
-        counters.rows_joined += len(output)
-        return output
-
-    def _join_result_table(
-        self,
-        bindings: List[Binding],
-        table: ResultTable,
-        counters: WorkCounters,
-        as_view: bool = False,
-    ) -> List[Binding]:
-        if not bindings:
-            return []
-        if as_view:
-            counters.view_rows_scanned += len(table)
-        else:
-            counters.rows_scanned += len(table)
-        table_bindings = table.to_bindings()
-        if bindings == [{}]:
-            counters.rows_joined += len(table_bindings)
-            return table_bindings
-        output: List[Binding] = []
-        for binding in bindings:
-            for table_binding in table_bindings:
-                merged = merge_bindings(binding, table_binding)
-                if merged is not None:
-                    output.append(merged)
-        counters.rows_joined += len(output)
-        return output
+        return finish_pipeline(bindings, query, counters)
 
     # ------------------------------------------------------------------ #
     # Access paths
@@ -182,7 +281,7 @@ class RelationalExecutor:
             rows: Iterable[Row] = self._table.scan()
             for row in rows:
                 counters.rows_scanned += 1
-                binding = self._bind_row(pattern, row)
+                binding = bind_pattern_row(dictionary, pattern, row)
                 if binding is not None:
                     yield binding
             return
@@ -210,66 +309,10 @@ class RelationalExecutor:
 
         for row in rows:
             counters.rows_scanned += 1
-            binding = self._bind_row(pattern, row)
+            binding = bind_pattern_row(dictionary, pattern, row)
             if binding is not None:
                 yield binding
-
-    def _bind_row(self, pattern: TriplePattern, row: Row) -> Optional[Binding]:
-        """Match one stored row against a pattern, producing a binding."""
-        dictionary = self._table.dictionary
-        binding: Binding = {}
-        for term, term_id in zip((pattern.subject, pattern.predicate, pattern.object), row):
-            if isinstance(term, Variable):
-                value = dictionary.decode(term_id)
-                existing = binding.get(term.name)
-                if existing is not None and existing != value:
-                    return None
-                binding[term.name] = value
-            else:
-                stored: TermLike = dictionary.decode(term_id)
-                if stored != term:
-                    return None
-        return binding
-
-    # ------------------------------------------------------------------ #
-    # Post-processing
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _apply_filters(bindings: List[Binding], filters: tuple[Filter, ...]) -> List[Binding]:
-        if not filters:
-            return bindings
-        return [b for b in bindings if all(f.evaluate(b) for f in filters)]
-
-    @staticmethod
-    def _project(bindings: List[Binding], query: SelectQuery) -> List[Binding]:
-        names = query.projected_names()
-        projected: List[Binding] = []
-        for binding in bindings:
-            projected.append({name: binding[name] for name in names if name in binding})
-        return projected
-
-    @staticmethod
-    def _check_budget(counters: WorkCounters, work_budget: Optional[float]) -> None:
-        if work_budget is None:
-            return
-        spent = relational_work_units(counters)
-        if spent > work_budget:
-            raise WorkBudgetExceeded(
-                f"relational execution exceeded its work budget ({spent:.0f} > {work_budget:.0f})",
-                partial_work=spent,
-            )
 
 
 def _shared_variable_names(binding: Binding, pattern: TriplePattern) -> List[str]:
     return sorted(set(binding) & pattern.variable_names())
-
-
-def _distinct(bindings: List[Binding], names: tuple[str, ...]) -> List[Binding]:
-    seen: set[tuple] = set()
-    unique: List[Binding] = []
-    for binding in bindings:
-        key = tuple(binding.get(name) for name in names)
-        if key not in seen:
-            seen.add(key)
-            unique.append(binding)
-    return unique

@@ -8,14 +8,14 @@ moving a partition without executing anything (``estimate_only`` mode).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.rdf.terms import IRI, Variable
 from repro.sparql.ast import SelectQuery, TriplePattern
 
-from repro.relstore.table import TripleTable
+from repro.relstore.table import Row, TripleTable
 
-__all__ = ["TableStatistics", "collect_statistics"]
+__all__ = ["TableStatistics", "collect_statistics", "predicate_statistics"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,22 @@ class TableStatistics:
         return scan_work + join_work
 
 
+def predicate_statistics(rows: Iterable[Row]) -> PredicateStatistics:
+    """Accumulate one predicate's statistics from its (possibly sharded) rows."""
+    subjects = set()
+    objects = set()
+    cardinality = 0
+    for subject_id, _, object_id in rows:
+        cardinality += 1
+        subjects.add(subject_id)
+        objects.add(object_id)
+    return PredicateStatistics(
+        cardinality=cardinality,
+        distinct_subjects=len(subjects),
+        distinct_objects=len(objects),
+    )
+
+
 def collect_statistics(table: TripleTable) -> TableStatistics:
     """Compute fresh statistics by scanning the table's partition index."""
     per_predicate: Dict[IRI, PredicateStatistics] = {}
@@ -104,16 +120,5 @@ def collect_statistics(table: TripleTable) -> TableStatistics:
         predicate_id = table.dictionary.lookup(predicate)
         if predicate_id is None:
             continue
-        subjects = set()
-        objects = set()
-        cardinality = 0
-        for subject_id, _, object_id in table.scan_predicate(predicate_id):
-            cardinality += 1
-            subjects.add(subject_id)
-            objects.add(object_id)
-        per_predicate[predicate] = PredicateStatistics(
-            cardinality=cardinality,
-            distinct_subjects=len(subjects),
-            distinct_objects=len(objects),
-        )
+        per_predicate[predicate] = predicate_statistics(table.scan_predicate(predicate_id))
     return TableStatistics(total_rows=len(table), per_predicate=per_predicate)

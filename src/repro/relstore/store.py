@@ -28,7 +28,37 @@ from repro.relstore.stats import TableStatistics, collect_statistics
 from repro.relstore.table import TripleTable
 from repro.relstore.views import MaterializedView, MaterializedViewManager
 
-__all__ = ["RelationalStore", "relational_work_units"]
+__all__ = [
+    "RelationalStore",
+    "relational_work_units",
+    "capped_execution",
+    "estimate_relational_seconds",
+]
+
+
+def capped_execution(store, query: SelectQuery, work_budget: float):
+    """Run ``store.execute`` under a work cap; ``(result_or_None, seconds)``.
+
+    The paper's counterfactual thread stopped at ``λ·c₁``: on budget
+    exhaustion the partial work is priced as plain row scans.  Shared by the
+    unsharded and sharded stores so the counterfactual pricing convention
+    can never drift between them.
+    """
+    try:
+        result = store.execute(query, work_budget=work_budget)
+        return result, result.seconds
+    except WorkBudgetExceeded as exc:
+        partial = WorkCounters(rows_scanned=int(exc.partial_work), queries_issued=1)
+        return None, store.cost_model.relational_query_seconds(partial)
+
+
+def estimate_relational_seconds(
+    statistics: TableStatistics, cost_model: CostModel, query: SelectQuery
+) -> float:
+    """Price a query from statistics only (the ideal/one-off tuners' path)."""
+    work = statistics.estimate_query_work(query)
+    counters = WorkCounters(rows_scanned=int(work), queries_issued=1)
+    return cost_model.relational_query_seconds(counters)
 
 
 class RelationalStore:
@@ -148,12 +178,7 @@ class RelationalStore:
         are the price of the work done so far — this is the counterfactual
         thread that the paper stops once it has run for ``λ·c₁``.
         """
-        try:
-            result = self.execute(query, work_budget=work_budget)
-            return result, result.seconds
-        except WorkBudgetExceeded as exc:
-            partial = WorkCounters(rows_scanned=int(exc.partial_work), queries_issued=1)
-            return None, self.cost_model.relational_query_seconds(partial)
+        return capped_execution(self, query, work_budget)
 
     def execute_with_view(self, query: SelectQuery, view: MaterializedView) -> ExecutionResult:
         """Answer ``query`` using a materialized view for part of its pattern.
@@ -205,6 +230,4 @@ class RelationalStore:
     # ------------------------------------------------------------------ #
     def estimate_query_seconds(self, query: SelectQuery) -> float:
         """Price a query from statistics only (used by the ideal/one-off tuners)."""
-        work = self.statistics().estimate_query_work(query)
-        counters = WorkCounters(rows_scanned=int(work), queries_issued=1)
-        return self.cost_model.relational_query_seconds(counters)
+        return estimate_relational_seconds(self.statistics(), self.cost_model, query)

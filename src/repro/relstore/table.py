@@ -46,7 +46,10 @@ class TripleTable:
     # ------------------------------------------------------------------ #
     def insert(self, triple: Triple) -> bool:
         """Insert a triple; return ``True`` when it was new."""
-        row = self.dictionary.encode_triple(triple)
+        return self.insert_row(self.dictionary.encode_triple(triple))
+
+    def insert_row(self, row: Row) -> bool:
+        """Insert an already-encoded row (sharded routing encodes first)."""
         if row in self._row_set:
             return False
         row_id = len(self._rows)
@@ -104,7 +107,11 @@ class TripleTable:
         predicate_id = self.dictionary.lookup(predicate)
         if predicate_id is None:
             return 0
-        return sum(1 for r in self._by_predicate[predicate_id] if self._rows[r] is not None)
+        return self.live_row_count(predicate_id)
+
+    def live_row_count(self, predicate_id: int) -> int:
+        """Live rows of one predicate, counted from the index (no decoding)."""
+        return sum(1 for r in self._by_predicate.get(predicate_id, ()) if self._rows[r] is not None)
 
     def cardinalities(self) -> Dict[IRI, int]:
         return {p: self.predicate_cardinality(p) for p in self.predicates()}
@@ -156,6 +163,25 @@ class TripleTable:
         if predicate_id is None:
             return []
         return [self.dictionary.decode_triple(row) for row in self.scan_predicate(predicate_id)]
+
+    def extract_predicate(self, predicate_id: int) -> List[Row]:
+        """Remove and return every live row of one predicate.
+
+        Used by the sharded store when a mega-predicate is promoted from
+        predicate-sharding to subject-sharding and its rows must move to
+        other shards.  Removed slots become tombstones; the secondary-index
+        entries are filtered lazily on read like every other deletion.
+        """
+        removed: List[Row] = []
+        for row_id in self._by_predicate.get(predicate_id, ()):
+            row = self._rows[row_id]
+            if row is not None:
+                self._rows[row_id] = None
+                self._row_set.remove(row)
+                self._tombstones += 1
+                removed.append(row)
+        self._by_predicate.pop(predicate_id, None)
+        return removed
 
     def compact(self) -> int:
         """Rebuild the table without tombstones; return rows reclaimed."""

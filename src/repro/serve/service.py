@@ -20,7 +20,10 @@ on top, without changing any store or tuner semantics:
   state, so read-side parallelism is safe (see
   :class:`~repro.core.processor.QueryProcessor`'s concurrency contract);
 * **service metrics** (:mod:`repro.serve.metrics`): cache hit rates, p50/p95
-  latency, and queue depth.
+  latency, and queue depth — plus per-shard probe/queue-depth metrics
+  (:meth:`QueryService.shard_metrics`) when the dual store's relational
+  master copy is a :class:`~repro.relstore.sharded.ShardedRelationalStore`
+  (the service then also owns a dedicated scatter pool for shard probes).
 
 Accounting is preserved: every submitted query yields exactly one
 :class:`~repro.core.metrics.QueryRecord`, and cached/deduplicated records keep
@@ -42,6 +45,7 @@ from repro.core.metrics import BatchResult, QueryRecord
 from repro.core.processor import ProcessedQuery
 from repro.execution import ExecutionResult
 from repro.rdf.terms import IRI, Triple
+from repro.relstore.sharded import ShardedRelationalStore
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import canonical_query_text, parse_query
 
@@ -73,6 +77,7 @@ def _result_view(result: ExecutionResult) -> ExecutionResult:
         seconds=result.seconds,
         store=result.store,
         truncated=result.truncated,
+        scatter=result.scatter,  # frozen, safe to share across views
     )
 
 
@@ -125,7 +130,7 @@ class ServedBatch:
     @property
     def tti(self) -> float:
         """Modelled time-to-insight of the batch (sum of record seconds)."""
-        return sum(execution.record.seconds for execution in self.executions)
+        return sum((execution.record.seconds for execution in self.executions), 0.0)
 
     def batch_result(self, index: int = 0) -> BatchResult:
         """Adapt to the experiments' :class:`BatchResult` for TTI reporting."""
@@ -166,6 +171,8 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self._metrics_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._scatter_pool: Optional[ThreadPoolExecutor] = None
+        self._scatter_pool_denied = False
         self._pool_lock = threading.Lock()
         self._closed = False
         dual.add_invalidation_hook(self._on_mutation)
@@ -185,9 +192,18 @@ class QueryService:
         self._closed = True
         self.dual.remove_invalidation_hook(self._on_mutation)
         with self._pool_lock:
+            # Query pool first: waiting for it drains in-flight serves whose
+            # workers hold a reference to the scatter pool — shutting the
+            # scatter pool down first would crash their probe submission.
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self._scatter_pool is not None:
+                backend = self.dual.relational
+                if isinstance(backend, ShardedRelationalStore):
+                    backend.detach_scatter_pool(self._scatter_pool)
+                self._scatter_pool.shutdown(wait=True)
+                self._scatter_pool = None
 
     def __enter__(self) -> "QueryService":
         return self
@@ -246,6 +262,12 @@ class QueryService:
         if self._closed:
             raise RuntimeError("QueryService is closed; create a new service to keep serving")
         self.dual._require_loaded()
+        if not queries:
+            # An empty batch admits nothing: it must not count as a served
+            # batch, move the queue gauge, or touch any cache counter —
+            # otherwise per-batch averages and hit rates drift on no-op
+            # submissions (see tests/test_serve.py::TestRunBatchEdgeCases).
+            return ServedBatch()
         plans = [self.resolve(query) for query in queries]
         generation = self.dual.generation
 
@@ -310,6 +332,10 @@ class QueryService:
         return ServedBatch(executions=entries, cache_hits=hit_count, coalesced=coalesced_count)
 
     def _execute_all(self, plans: List[QueryPlan]) -> List[ProcessedQuery]:
+        if self.config.max_workers > 1:
+            # Shard-probe parallelism is independent of batch width: a single
+            # run_query over a sharded backend should scatter too.
+            self._ensure_scatter_pool()
         if len(plans) == 1 or self.config.max_workers <= 1:
             return [self._execute(plan) for plan in plans]
         pool = self._ensure_pool()
@@ -363,6 +389,22 @@ class QueryService:
             self.metrics.counters.invalidations += dropped
 
     # ------------------------------------------------------------------ #
+    # Shard observability (sharded relational backends only)
+    # ------------------------------------------------------------------ #
+    def shard_metrics(self) -> Optional[List[Dict[str, float]]]:
+        """Per-shard queue-depth/latency snapshot, or ``None`` when the dual
+        store's relational master copy is not sharded.
+
+        One dict per shard: probe counts, rows scanned, physical index
+        lookups, modelled busy seconds (mean/max per probe), and
+        current/peak in-flight probe depth.
+        """
+        backend = self.dual.relational
+        if isinstance(backend, ShardedRelationalStore):
+            return backend.shard_metrics.snapshot()
+        return None
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -377,3 +419,33 @@ class QueryService:
                     thread_name_prefix="repro-serve",
                 )
             return self._pool
+
+    def _ensure_scatter_pool(self) -> None:
+        backend = self.dual.relational
+        if not isinstance(backend, ShardedRelationalStore) or backend.shard_count <= 1:
+            return
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("QueryService is closed; create a new service to keep serving")
+            if self._scatter_pool is not None:
+                return
+            if self._scatter_pool_denied:
+                if backend.has_scatter_pool:
+                    return  # another service still provides the pool
+                # The previous owner closed and detached; try owning it now.
+                self._scatter_pool_denied = False
+            # Shard probes get their own pool: probes submitted to the query
+            # pool would deadlock once every query worker is blocked waiting
+            # on its own probes.
+            scatter_pool = ThreadPoolExecutor(
+                max_workers=min(backend.shard_count, self.config.max_workers * 2),
+                thread_name_prefix="repro-scatter",
+            )
+            if backend.attach_scatter_pool(scatter_pool):
+                self._scatter_pool = scatter_pool
+            else:
+                # Another service already provides the store's pool; ours
+                # would only be clobbering it.  Remembered so every later
+                # batch doesn't churn a throwaway pool.
+                self._scatter_pool_denied = True
+                scatter_pool.shutdown(wait=False)

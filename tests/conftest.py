@@ -15,6 +15,25 @@ from repro.sparql import parse_query
 from repro.workload import generate_yago, yago_workload
 
 
+def _binding_fingerprint(result):
+    """Order-insensitive fingerprint of a result's solution multiset.
+
+    The canonical equality notion of the differential/stress suites: two
+    results are "binding-identical" iff these fingerprints match.
+    """
+    return sorted(
+        sorted((name, term.n3()) for name, term in binding.items())
+        for binding in result.bindings
+    )
+
+
+@pytest.fixture(scope="session")
+def fingerprint():
+    """The shared binding-multiset fingerprint helper (as a fixture so the
+    one definition serves every test module)."""
+    return _binding_fingerprint
+
+
 # --------------------------------------------------------------------------- #
 # Hand-written mini knowledge graph (answers verifiable by hand)
 # --------------------------------------------------------------------------- #

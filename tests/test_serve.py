@@ -19,11 +19,6 @@ SELECT ?p WHERE {
 """
 
 
-def fingerprint(result):
-    """Byte-level fingerprint of a result: sorted N3-rendered rows."""
-    return tuple(sorted(tuple(term.n3() for term in row) for row in result.rows()))
-
-
 @pytest.fixture(scope="module")
 def dataset():
     return generate_yago(target_triples=2500, seed=7)
@@ -114,7 +109,7 @@ class TestPlanCache:
 # Result cache + invalidation contract
 # ---------------------------------------------------------------------- #
 class TestResultCacheInvalidation:
-    def test_second_serve_is_a_cache_hit_and_byte_identical(self, service):
+    def test_second_serve_is_a_cache_hit_and_byte_identical(self, service, fingerprint):
         cold = service.run_query(ADVISOR_QUERY)
         warm = service.run_query(ADVISOR_QUERY)
         assert not cold.record.from_cache
@@ -132,7 +127,7 @@ class TestResultCacheInvalidation:
         after = service.run_query(ADVISOR_QUERY)
         assert not after.record.from_cache
 
-    def test_transfer_partition_invalidates_and_reroutes(self, service, dual):
+    def test_transfer_partition_invalidates_and_reroutes(self, service, dual, fingerprint):
         cold = service.run_query(ADVISOR_QUERY)
         assert cold.record.route == "relational"
         for predicate in parse_query(ADVISOR_QUERY).predicates():
@@ -190,7 +185,7 @@ class TestResultCacheInvalidation:
         with pytest.raises(RuntimeError):
             service.run_query(ADVISOR_QUERY)
 
-    def test_consumer_mutation_cannot_corrupt_the_cache(self, service):
+    def test_consumer_mutation_cannot_corrupt_the_cache(self, service, fingerprint):
         cold = service.run_query(ADVISOR_QUERY)
         pristine = fingerprint(cold.result)
         cold.result.bindings.clear()  # a consumer post-processing in place
@@ -221,7 +216,7 @@ class TestResultCacheInvalidation:
 # Batched admission
 # ---------------------------------------------------------------------- #
 class TestRunBatch:
-    def test_one_record_per_submission_with_duplicates(self, service, dataset):
+    def test_one_record_per_submission_with_duplicates(self, service, dataset, fingerprint):
         workload = yago_workload(dataset)
         batch = workload.batches("ordered")[0]
         duplicated = list(batch) + list(batch)  # every query submitted twice
@@ -234,7 +229,7 @@ class TestRunBatch:
             assert second.record.seconds == first.record.seconds
             assert fingerprint(second.result) == fingerprint(first.result)
 
-    def test_batch_matches_uncached_loop_byte_for_byte(self, service, dual, dataset):
+    def test_batch_matches_uncached_loop_byte_for_byte(self, service, dual, dataset, fingerprint):
         workload = yago_workload(dataset)
         batch = workload.batches("random")[0]
         uncached = [dual.run_query(q) for q in batch]
@@ -265,7 +260,7 @@ class TestRunBatch:
             assert len(served) == len(batch)
             assert service._pool is None  # never spun up a pool
 
-    def test_threaded_equals_inline(self, dual, dataset):
+    def test_threaded_equals_inline(self, dual, dataset, fingerprint):
         workload = yago_workload(dataset)
         batch = workload.batches("random")[1]
         with QueryService(dual, ServiceConfig(max_workers=1)) as inline_service:
@@ -291,6 +286,73 @@ class TestRunBatch:
         with QueryService(DualStore()) as service:
             with pytest.raises(TuningError):
                 service.run_query(ADVISOR_QUERY)
+
+
+# ---------------------------------------------------------------------- #
+# Admission edge cases: empty batches and all-duplicate batches
+# ---------------------------------------------------------------------- #
+class TestRunBatchEdgeCases:
+    def test_empty_batch_is_a_metrics_noop(self, service):
+        served = service.run_batch([])
+        assert len(served) == 0
+        assert served.cache_hits == 0 and served.coalesced == 0
+        assert served.tti == 0.0
+        assert isinstance(served.tti, float)
+        counters = service.metrics.counters
+        # Nothing was admitted, so nothing may be counted — in particular no
+        # batch, which would otherwise skew per-batch averages.
+        assert counters.batches_served == 0
+        assert counters.queries_served == 0
+        assert counters.result_cache_hits == 0
+        assert counters.result_cache_misses == 0
+        assert counters.duplicates_coalesced == 0
+        assert service.metrics.queue.current == 0
+        assert service.metrics.queue.peak == 0
+        assert service.metrics.modelled_latency.count == 0
+        assert service._pool is None  # an empty batch must not spin the pool up
+
+    def test_empty_batch_still_requires_a_loaded_store(self):
+        from repro.errors import TuningError
+
+        with QueryService(DualStore()) as service:
+            with pytest.raises(TuningError):
+                service.run_batch([])
+
+    def test_empty_batch_adapts_to_an_empty_batch_result(self, service):
+        adapted = service.run_batch([]).batch_result(index=5)
+        assert adapted.index == 5
+        assert len(adapted) == 0
+        assert adapted.tti == 0.0
+
+    def test_all_duplicate_batch_executes_once_and_coalesces_the_rest(self, service, fingerprint):
+        served = service.run_batch([ADVISOR_QUERY] * 5)
+        assert len(served.records) == 5
+        assert served.cache_hits == 0
+        assert served.coalesced == 4
+        counters = service.metrics.counters
+        assert counters.executions == 1
+        assert counters.result_cache_misses == 1
+        assert counters.duplicates_coalesced == 4
+        assert counters.queries_served == 5
+        # The single execution went through the queue gauge exactly once.
+        assert service.metrics.queue.current == 0
+        assert service.metrics.queue.peak == 1
+        # Every submission carries the shared execution's accounting.
+        baseline = served.executions[0]
+        for duplicate in served.executions[1:]:
+            assert duplicate.record.from_cache
+            assert duplicate.record.seconds == baseline.record.seconds
+            assert fingerprint(duplicate.result) == fingerprint(baseline.result)
+
+    def test_all_duplicate_batch_served_again_is_all_cache_hits(self, service):
+        service.run_batch([ADVISOR_QUERY] * 3)
+        again = service.run_batch([ADVISOR_QUERY] * 3)
+        assert again.cache_hits == 3
+        assert again.coalesced == 0
+        counters = service.metrics.counters
+        assert counters.executions == 1  # still only the first execution
+        assert counters.result_cache_hits == 3
+        assert counters.queries_served == 6
 
 
 # ---------------------------------------------------------------------- #
@@ -369,3 +431,98 @@ class TestWorkloadStream:
         workload = yago_workload(dataset)
         with pytest.raises(WorkloadError):
             workload.stream(order="orderd")
+
+
+# ---------------------------------------------------------------------- #
+# Serving a sharded relational backend
+# ---------------------------------------------------------------------- #
+class TestShardedServing:
+    @pytest.fixture()
+    def sharded_dual(self, dataset):
+        from repro import ShardingConfig
+
+        return DualStore(
+            shards=4, sharding=ShardingConfig(skew_threshold=0.2, min_subject_shard_rows=16)
+        ).load(dataset.triples)
+
+    def test_shard_metrics_absent_on_unsharded_backend(self, service):
+        assert service.shard_metrics() is None
+
+    def test_shard_metrics_exposed_per_shard(self, sharded_dual, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        with QueryService(sharded_dual) as service:
+            service.run_batch(batch)
+            snapshot = service.shard_metrics()
+            assert snapshot is not None and len(snapshot) == 4
+            assert sum(entry["probes"] for entry in snapshot) > 0
+            assert all(entry["queue_depth"] == 0.0 for entry in snapshot)
+            for entry in snapshot:
+                assert {"busy_seconds", "mean_probe_seconds", "max_probe_seconds", "peak_queue_depth"} <= set(entry)
+
+    def test_sharded_batch_matches_unsharded_loop(self, sharded_dual, dual, dataset, fingerprint):
+        workload = yago_workload(dataset)
+        batch = workload.batches("random")[0]
+        uncached = [dual.run_query(q) for q in batch]
+        with QueryService(sharded_dual) as service:
+            served = service.run_batch(batch)
+        for cold, warm in zip(uncached, served):
+            assert fingerprint(warm.result) == fingerprint(cold.result)
+            assert warm.record.route == cold.record.route
+            assert warm.result.counters.as_dict() == cold.result.counters.as_dict()
+
+    def test_scatter_pool_lifecycle_follows_the_service(self, sharded_dual, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        service = QueryService(sharded_dual)
+        service.run_batch(batch)  # spins up both pools
+        backend = sharded_dual.relational
+        assert service._scatter_pool is not None
+        assert backend._scatter_pool is service._scatter_pool
+        service.close()
+        assert service._scatter_pool is None
+        assert backend._scatter_pool is None
+
+    def test_run_query_alone_attaches_the_scatter_pool(self, sharded_dual):
+        with QueryService(sharded_dual) as service:
+            service.run_query(ADVISOR_QUERY)  # no batch, still scatters
+            assert service._scatter_pool is not None
+            assert sharded_dual.relational._scatter_pool is service._scatter_pool
+            assert service._pool is None  # the batch pool stays down
+
+    def test_cached_results_keep_their_scatter_breakdown(self, sharded_dual):
+        with QueryService(sharded_dual) as service:
+            cold = service.run_query(ADVISOR_QUERY)
+            warm = service.run_query(ADVISOR_QUERY)
+            assert warm.record.from_cache
+            assert cold.result.scatter is not None
+            assert warm.result.scatter == cold.result.scatter
+
+    def test_second_service_does_not_clobber_the_first_services_scatter_pool(
+        self, sharded_dual, dataset
+    ):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        backend = sharded_dual.relational
+        with QueryService(sharded_dual) as first:
+            first.run_batch(batch)
+            owner_pool = backend._scatter_pool
+            assert owner_pool is first._scatter_pool is not None
+            with QueryService(sharded_dual) as second:
+                second.run_batch(batch)
+                # The first attachment wins; the second serves without one.
+                assert backend._scatter_pool is owner_pool
+                assert second._scatter_pool is None
+            # Closing the second service must leave the first's pool working.
+            assert backend._scatter_pool is owner_pool
+            again = first.run_batch(batch)
+            assert len(again) == len(batch)
+        assert backend._scatter_pool is None  # released by its owner
+
+    def test_single_worker_service_never_attaches_a_scatter_pool(self, sharded_dual, dataset):
+        workload = yago_workload(dataset)
+        batch = workload.batches("ordered")[0]
+        with QueryService(sharded_dual, ServiceConfig(max_workers=1)) as service:
+            service.run_batch(batch)
+            assert service._scatter_pool is None
+            assert sharded_dual.relational._scatter_pool is None
