@@ -1,0 +1,149 @@
+"""Benchmark H1 — real wall-clock of the ID-space engine vs the reference.
+
+Unlike every other benchmark in this directory, the headline number here is
+**measured wall-clock**, not the modelled cost: the ID-space engine and the
+decode-per-row reference executor charge bit-identical logical work by
+construction (the differential suite pins that), so the only honest way to
+show the late-materialization speedup is to time both engines on the same
+join-heavy workload.
+
+Protocol
+--------
+For each dataset scale, the join-heavy WatDiv stand-in templates (snowflake +
+complex families, ≥ 3 patterns each) run through ``RelationalStore()`` (the
+ID-space engine, plan memo warm after the first pass — the serving-layer
+reality) and ``RelationalStore(engine="reference")``.  Each engine gets
+``BENCH_HOTPATH_REPEATS`` timed passes; the best pass counts.  Before timing,
+both engines' results are checked byte-identical (bindings, order, counters,
+modelled seconds).
+
+The results land in ``BENCH_hotpath.json`` so future PRs have a wall-clock
+trajectory to ratchet against.  At the *largest* scale the ID-space engine
+must beat the reference by at least ``BENCH_HOTPATH_MIN_SPEEDUP`` (default
+3×; CI's perf-smoke job runs small scales with a conservative 1.2× floor
+since shared runners are noisy).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -q -s
+    # or, standalone:
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+
+Environment knobs: ``BENCH_HOTPATH_SCALES`` (comma-separated triple counts),
+``BENCH_HOTPATH_MIN_SPEEDUP``, ``BENCH_HOTPATH_REPEATS``.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import RelationalStore, generate_watdiv, watdiv_workload  # noqa: E402
+from repro.relstore.executor import relational_work_units  # noqa: E402
+
+SCALES = tuple(
+    int(s) for s in os.environ.get("BENCH_HOTPATH_SCALES", "2000,6000,14000").split(",")
+)
+MIN_SPEEDUP = float(os.environ.get("BENCH_HOTPATH_MIN_SPEEDUP", "3.0"))
+REPEATS = int(os.environ.get("BENCH_HOTPATH_REPEATS", "3"))
+SEED = 7
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+def _join_heavy_queries(dataset):
+    """The join-heavy template set: snowflake + complex, ≥ 3 patterns."""
+    queries = []
+    for family in ("snowflake", "complex"):
+        workload = watdiv_workload(dataset, family=family, seed=SEED)
+        queries.extend(q for q in workload.ordered() if len(q.patterns) >= 3)
+    return queries
+
+
+def _timed_pass(store, queries):
+    start = time.perf_counter()
+    results = [store.execute(query) for query in queries]
+    return time.perf_counter() - start, results
+
+
+def _bench_engine(store, queries):
+    """Best-of-N wall-clock plus the (pass-invariant) results."""
+    best = float("inf")
+    results = None
+    for _ in range(max(1, REPEATS)):
+        wall, results = _timed_pass(store, queries)
+        best = min(best, wall)
+    return best, results
+
+
+def _assert_identical(idspace_results, reference_results, scale):
+    for index, (warm, cold) in enumerate(zip(idspace_results, reference_results)):
+        assert warm.variables == cold.variables, f"scale {scale}, query {index}: variables diverged"
+        assert warm.bindings == cold.bindings, f"scale {scale}, query {index}: bindings diverged"
+        assert warm.counters.as_dict() == cold.counters.as_dict(), (
+            f"scale {scale}, query {index}: work counters diverged"
+        )
+        assert warm.seconds == cold.seconds, (
+            f"scale {scale}, query {index}: modelled seconds diverged"
+        )
+
+
+def test_idspace_engine_beats_reference_on_join_heavy_templates():
+    report = {
+        "benchmark": "hotpath",
+        "workload": "watdiv snowflake+complex, >=3 patterns",
+        "repeats": REPEATS,
+        "min_speedup_required_at_largest_scale": MIN_SPEEDUP,
+        "scales": [],
+    }
+    print()
+    for scale in SCALES:
+        dataset = generate_watdiv(target_triples=scale, seed=SEED)
+        queries = _join_heavy_queries(dataset)
+
+        reference = RelationalStore(engine="reference")
+        reference.load(dataset.triples)
+        idspace = RelationalStore()
+        idspace.load(dataset.triples)
+
+        reference_wall, reference_results = _bench_engine(reference, queries)
+        idspace_wall, idspace_results = _bench_engine(idspace, queries)
+        _assert_identical(idspace_results, reference_results, scale)
+
+        speedup = reference_wall / idspace_wall if idspace_wall > 0 else float("inf")
+        work = sum(relational_work_units(r.counters) for r in idspace_results)
+        report["scales"].append(
+            {
+                "triples": len(dataset.triples),
+                "queries": len(queries),
+                "reference_wall_seconds": reference_wall,
+                "idspace_wall_seconds": idspace_wall,
+                "speedup": speedup,
+                "work_units": work,
+                "identical_bindings_and_counters": True,
+            }
+        )
+        print(
+            f"BENCH_HOTPATH triples={len(dataset.triples)} queries={len(queries)} "
+            f"reference={reference_wall * 1000:.1f}ms idspace={idspace_wall * 1000:.1f}ms "
+            f"speedup={speedup:.2f}x work_units={work:.0f}"
+        )
+
+    report["largest_scale_speedup"] = report["scales"][-1]["speedup"]
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"BENCH_HOTPATH wrote {OUTPUT}")
+
+    largest = report["scales"][-1]
+    assert largest["speedup"] >= MIN_SPEEDUP, (
+        f"ID-space engine is only {largest['speedup']:.2f}x faster than the reference "
+        f"executor at {largest['triples']} triples (required: {MIN_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":
+    test_idspace_engine_beats_reference_on_join_heavy_templates()
+    print("ok")

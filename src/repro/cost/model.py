@@ -17,6 +17,15 @@ by roughly the same factor as the datasets themselves (the synthetic
 workloads are ~100–1000× smaller than the paper's), so the crossover
 behaviour — the graph store paying off for complex queries, the relational
 store winning simple lookups — lands at the same *relative* position.
+
+The model prices **logical work counters only**.  Both relational engines —
+the ID-space late-materialization executor and the retained decode-per-row
+reference executor — charge every counter at the same pipeline points (per
+row an access path yields, per tuple a join produces, per logical index
+lookup, per emitted result), so the modelled seconds of a query are
+*engine-invariant by construction*: swapping engines changes wall-clock,
+never a single modelled number.  ``tests/test_differential_engine.py`` pins
+this bit-identity.
 Absolute values are irrelevant for the reproduction (our substrate is a
 simulator, not the authors' testbed); what matters is that the *relative*
 behaviour — relational cost scaling with data size, graph cost scaling with

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.counters import WorkCounters
 from repro.rdf.terms import TermLike
@@ -113,6 +113,16 @@ class ResultTable:
 
     def to_bindings(self) -> List[Binding]:
         return [dict(zip(self.variables, row)) for row in self.rows]
+
+    def encoded_rows(self, encode: Callable[[TermLike], int]) -> List[Tuple[int, ...]]:
+        """The rows as integer-id tuples, for the ID-space join pipeline.
+
+        ``encode`` is typically ``QueryTermSpace.encode``: terms known to the
+        store's dictionary keep their dictionary ids, terms that exist only
+        in this migrated table get execution-local (negative) ids — either
+        way the table joins on ints like every other pipeline input.
+        """
+        return [tuple(encode(value) for value in row) for row in self.rows]
 
     @classmethod
     def from_result(cls, name: str, result: ExecutionResult) -> "ResultTable":

@@ -12,11 +12,20 @@ Because each step extends existing bindings through adjacency lists, the work
 is proportional to the traversed neighbourhood rather than the total graph
 size, which is what keeps the graph store's latency flat as the knowledge
 graph grows (the paper's Table 1).
+
+Like the relational ID-space executor, the matcher follows the
+**late-materialization** discipline: the pipeline is a flat variable schema
+plus positional tuples (extending a solution is one tuple concatenation, not
+a dict copy), and per-solution dictionaries are materialized exactly once,
+at projection, for the rows that survived filters, DISTINCT, and LIMIT.  The
+graph side has no term dictionary — vertices *are* terms — so its tuples
+hold terms rather than ids, but the decode-late/allocate-late structure is
+the same, keeping DualStore store-vs-store comparisons apples-to-apples.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cost.counters import WorkCounters
 from repro.errors import QueryExecutionError
@@ -28,6 +37,9 @@ from repro.sparql.algebra import order_patterns_greedily
 from repro.graphstore.property_graph import PropertyGraph
 
 __all__ = ["GraphMatcher"]
+
+#: One pipeline row: bound terms, positionally aligned with the schema.
+_TermRow = Tuple[TermLike, ...]
 
 
 class GraphMatcher:
@@ -63,19 +75,33 @@ class GraphMatcher:
             ordered = list(pattern_order)
 
         counters = WorkCounters(queries_issued=1)
-        bindings: List[Binding] = [{}]
+        schema: Tuple[str, ...] = ()
+        rows: List[_TermRow] = [()]
         for pattern in ordered:
-            bindings = self._extend(bindings, pattern, counters)
-            if not bindings:
+            schema, rows = self._extend(schema, rows, pattern, counters)
+            if not rows:
                 break
 
-        bindings = [b for b in bindings if all(f.evaluate(b) for f in query.filters)]
+        if query.filters and rows:
+            rows = self._filter_rows(schema, rows, query.filters)
+
         names = query.projected_names()
-        projected = [{name: b[name] for name in names if name in b} for b in bindings]
+        positions = tuple(schema.index(n) if n in schema else -1 for n in names)
         if query.distinct:
-            projected = _distinct(projected, names)
+            seen: set = set()
+            unique: List[_TermRow] = []
+            for row in rows:
+                key = tuple(row[p] if p >= 0 else None for p in positions)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
         if query.limit is not None:
-            projected = projected[: query.limit]
+            rows = rows[: query.limit]
+
+        # One materialization pass: solution dicts exist only for survivors.
+        bound = [(name, p) for name, p in zip(names, positions) if p >= 0]
+        projected: List[Binding] = [{name: row[p] for name, p in bound} for row in rows]
         counters.results_produced += len(projected)
 
         return ExecutionResult(
@@ -90,97 +116,110 @@ class GraphMatcher:
     # ------------------------------------------------------------------ #
     def _extend(
         self,
-        bindings: List[Binding],
+        schema: Tuple[str, ...],
+        rows: List[_TermRow],
         pattern: TriplePattern,
         counters: WorkCounters,
-    ) -> List[Binding]:
-        output: List[Binding] = []
-        for binding in bindings:
-            output.extend(self._extend_one(binding, pattern, counters))
-        return output
-
-    def _extend_one(
-        self,
-        binding: Binding,
-        pattern: TriplePattern,
-        counters: WorkCounters,
-    ) -> List[Binding]:
+    ) -> Tuple[Tuple[str, ...], List[_TermRow]]:
+        """Extend every pipeline row through one pattern's adjacency lists."""
+        graph = self._graph
         predicate = pattern.predicate
         assert isinstance(predicate, IRI)
-        subject = self._resolve(pattern.subject, binding)
-        obj = self._resolve(pattern.object, binding)
 
-        results: List[Binding] = []
+        subject_pos, subject_const, subject_var = self._operand(pattern.subject, schema)
+        object_pos, object_const, object_var = self._operand(pattern.object, schema)
 
-        if subject is not None and obj is not None:
-            # Both endpoints known: a containment check along the adjacency list.
-            counters.nodes_expanded += 1
-            neighbours = self._graph.out_neighbours(subject, predicate)
-            counters.edges_traversed += len(neighbours)
-            if obj in neighbours:
-                results.append(dict(binding))
-            return results
+        out: List[_TermRow] = []
+        append = out.append
 
-        if subject is not None:
-            counters.nodes_expanded += 1
-            neighbours = self._graph.out_neighbours(subject, predicate)
-            counters.edges_traversed += len(neighbours)
-            for target in neighbours:
-                extended = self._bind(binding, pattern.object, target)
-                if extended is not None:
-                    results.append(extended)
-            return results
+        if subject_var is None and object_var is None:
+            # Both endpoints known per row: containment along the adjacency list.
+            for row in rows:
+                subject = subject_const if subject_pos < 0 else row[subject_pos]
+                obj = object_const if object_pos < 0 else row[object_pos]
+                counters.nodes_expanded += 1
+                neighbours = graph.out_neighbours(subject, predicate)
+                counters.edges_traversed += len(neighbours)
+                if obj in neighbours:
+                    append(row)
+            return schema, out
 
-        if obj is not None:
-            counters.nodes_expanded += 1
-            neighbours = self._graph.in_neighbours(obj, predicate)
-            counters.edges_traversed += len(neighbours)
-            for source in neighbours:
-                extended = self._bind(binding, pattern.subject, source)
-                if extended is not None:
-                    results.append(extended)
-            return results
+        if subject_var is None:
+            # Forward expansion: the object variable is new.
+            for row in rows:
+                subject = subject_const if subject_pos < 0 else row[subject_pos]
+                counters.nodes_expanded += 1
+                neighbours = graph.out_neighbours(subject, predicate)
+                counters.edges_traversed += len(neighbours)
+                for target in neighbours:
+                    append(row + (target,))
+            return schema + (object_var,), out
 
-        # Neither endpoint bound: relationship-type scan.
-        for source, target in self._graph.edges(predicate):
-            counters.edges_traversed += 1
-            extended = self._bind(binding, pattern.subject, source)
-            if extended is None:
-                continue
-            extended = self._bind(extended, pattern.object, target)
-            if extended is not None:
-                results.append(extended)
-        return results
+        if object_var is None:
+            # Backward expansion: the subject variable is new.
+            for row in rows:
+                obj = object_const if object_pos < 0 else row[object_pos]
+                counters.nodes_expanded += 1
+                neighbours = graph.in_neighbours(obj, predicate)
+                counters.edges_traversed += len(neighbours)
+                for source in neighbours:
+                    append(row + (source,))
+            return schema + (subject_var,), out
+
+        # Neither endpoint bound: relationship-type scan (per pipeline row,
+        # exactly like expanding each solution through the type index).
+        if subject_var == object_var:
+            for row in rows:
+                for source, target in graph.edges(predicate):
+                    counters.edges_traversed += 1
+                    if source == target:
+                        append(row + (source,))
+            return schema + (subject_var,), out
+        for row in rows:
+            for source, target in graph.edges(predicate):
+                counters.edges_traversed += 1
+                append(row + (source, target))
+        return schema + (subject_var, object_var), out
 
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _resolve(term: TermLike, binding: Binding) -> Optional[TermLike]:
-        """A concrete vertex for ``term`` under ``binding``, or ``None``."""
+    def _operand(
+        term: TermLike, schema: Tuple[str, ...]
+    ) -> Tuple[int, Optional[TermLike], Optional[str]]:
+        """Lower one pattern endpoint against the schema.
+
+        Returns ``(schema position | -1, constant | None, new var name |
+        None)``: a bound operand has a position or a constant; an operand
+        with a new-variable name is unresolved and will extend the schema.
+        """
         if isinstance(term, Variable):
-            return binding.get(term.name)
-        return term
+            if term.name in schema:
+                return schema.index(term.name), None, None
+            return -1, None, term.name
+        return -1, term, None
 
-    @staticmethod
-    def _bind(binding: Binding, term: TermLike, value: TermLike) -> Optional[Binding]:
-        """Bind ``term`` (a variable or constant) to ``value`` if compatible."""
-        if isinstance(term, Variable):
-            existing = binding.get(term.name)
-            if existing is not None:
-                return dict(binding) if existing == value else None
-            extended = dict(binding)
-            extended[term.name] = value
-            return extended
-        return dict(binding) if term == value else None
-
-
-def _distinct(bindings: List[Binding], names: tuple[str, ...]) -> List[Binding]:
-    seen: set[tuple] = set()
-    unique: List[Binding] = []
-    for binding in bindings:
-        key = tuple(binding.get(name) for name in names)
-        if key not in seen:
-            seen.add(key)
-            unique.append(binding)
-    return unique
+    def _filter_rows(
+        self, schema: Tuple[str, ...], rows: List[_TermRow], filters
+    ) -> List[_TermRow]:
+        """Apply FILTERs to tuple rows, materializing only each filter's own
+        operands (semantics delegate to :meth:`Filter.evaluate`)."""
+        compiled = []
+        for flt in filters:
+            var_slots = tuple(
+                (v.name, schema.index(v.name) if v.name in schema else -1)
+                for v in flt.variables()
+            )
+            compiled.append((flt, var_slots))
+        out: List[_TermRow] = []
+        for row in rows:
+            keep = True
+            for flt, var_slots in compiled:
+                operand_binding = {name: row[p] for name, p in var_slots if p >= 0}
+                if not flt.evaluate(operand_binding):
+                    keep = False
+                    break
+            if keep:
+                out.append(row)
+        return out

@@ -60,9 +60,36 @@ class TermDictionary:
             raise StorageError(f"identifier {term_id} is outside the dictionary range")
         return self._id_to_term[term_id]
 
+    def decode_many(self, term_ids: Iterable[int]) -> List[TermLike]:
+        """Batch-decode identifiers in one pass.
+
+        This is the late-materialization hook of the ID-space executor: the
+        join pipeline runs entirely on integer identifiers and calls this
+        once, at projection time, for the identifiers that survived.  Bounds
+        are checked exactly like :meth:`decode`.
+        """
+        table = self._id_to_term
+        size = len(table)
+        out: List[TermLike] = []
+        append = out.append
+        for term_id in term_ids:
+            if not 0 <= term_id < size:
+                raise StorageError(f"identifier {term_id} is outside the dictionary range")
+            append(table[term_id])
+        return out
+
     def lookup(self, term: TermLike) -> int | None:
         """Return the identifier for ``term`` or ``None`` when unknown."""
         return self._term_to_id.get(term)
+
+    def lookup_many(self, terms: Iterable[TermLike]) -> List[int | None]:
+        """Batch :meth:`lookup`; one entry per term, ``None`` when unknown.
+
+        Used to resolve a plan step's constants once per bound plan instead
+        of once per scanned row.
+        """
+        get = self._term_to_id.get
+        return [get(term) for term in terms]
 
     def encode_triple(self, triple: Triple) -> EncodedTriple:
         return (

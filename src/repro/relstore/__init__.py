@@ -1,8 +1,16 @@
 """Relational store (MySQL stand-in): triple table, planner, executor, views, SQLite, shards."""
 
 from repro.relstore.backend import RelationalBackend
-from repro.relstore.executor import RelationalExecutor, relational_work_units
+from repro.relstore.executor import (
+    BoundPlanCache,
+    CompiledPlan,
+    RelationalExecutor,
+    compile_pattern,
+    compile_plan,
+    relational_work_units,
+)
 from repro.relstore.planner import PatternAccess, RelationalPlan, plan_query
+from repro.relstore.reference import ReferenceExecutor
 from repro.relstore.sharded import ShardedRelationalStore, ShardingConfig, ShardMetricsBoard
 from repro.relstore.sql_compiler import CompiledSQL, compile_select
 from repro.relstore.sqlite_backend import SQLiteBackend
@@ -19,6 +27,11 @@ __all__ = [
     "ShardMetricsBoard",
     "TripleTable",
     "RelationalExecutor",
+    "ReferenceExecutor",
+    "BoundPlanCache",
+    "CompiledPlan",
+    "compile_pattern",
+    "compile_plan",
     "relational_work_units",
     "RelationalPlan",
     "PatternAccess",

@@ -84,16 +84,30 @@ def plan_query(
     ``pattern_order`` overrides the greedy ordering (used by the naive-order
     ablation benchmark).
     """
+    def estimate(pattern: TriplePattern) -> int:
+        """Per-pattern row estimate, priced the way the ID-space executor
+        actually runs the step: index paths touch the point-lookup row count
+        from the per-predicate distinct-count statistics, not the whole
+        partition."""
+        access_path = _choose_access_path(pattern)
+        estimated = statistics.estimate_pattern_rows(pattern)
+        if access_path in ("index_subject", "index_object"):
+            estimated = min(estimated, statistics.estimate_index_rows(pattern, access_path))
+        return estimated
+
     if pattern_order is None:
-        ordered = order_patterns_greedily(query.patterns, cardinality=statistics.cardinalities())
+        ordered = order_patterns_greedily(
+            query.patterns, cardinality=statistics.cardinalities(), estimate=estimate
+        )
     else:
         ordered = list(pattern_order)
 
     steps: List[PatternAccess] = []
     for pattern in ordered:
         access_path = _choose_access_path(pattern)
-        estimated = statistics.estimate_pattern_rows(pattern)
-        if access_path in ("index_subject", "index_object"):
-            estimated = min(estimated, max(1, estimated))
-        steps.append(PatternAccess(pattern=pattern, access_path=access_path, estimated_rows=estimated))
+        steps.append(
+            PatternAccess(
+                pattern=pattern, access_path=access_path, estimated_rows=estimate(pattern)
+            )
+        )
     return RelationalPlan(steps=tuple(steps))

@@ -1,0 +1,123 @@
+"""The retained decode-per-row reference executor.
+
+Before the ID-space engine (PR 3), the relational executor decoded every
+column of every scanned row into term objects and joined dictionaries of
+those terms.  That pipeline is preserved here, verbatim in behaviour, for two
+reasons:
+
+* it is the **differential oracle**: ``tests/test_differential_engine.py``
+  pits the ID-space engine against it and asserts byte-identical result
+  bindings and bit-identical logical :class:`~repro.cost.counters.WorkCounters`
+  across every template family, unsharded and sharded;
+* it is the **benchmark baseline**: ``benchmarks/bench_hotpath.py`` measures
+  the real wall-clock speedup of late materialization against it and ratchets
+  the result in ``BENCH_hotpath.json``.
+
+Construct it via ``RelationalStore(engine="reference")``; it reuses the
+term-space helpers still exported by :mod:`repro.relstore.executor`
+(``bind_pattern_row``, ``join_pattern_rows``, ``finish_pipeline``, ...), so
+the two engines share the filter/projection/DISTINCT/LIMIT semantics and the
+work-charging points by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.cost.counters import WorkCounters
+from repro.errors import QueryExecutionError
+from repro.execution import ExecutionResult, ResultTable
+from repro.sparql.ast import Binding, SelectQuery
+
+from repro.relstore.executor import (
+    CompiledPlan,
+    bind_pattern_row,
+    check_work_budget,
+    finish_pipeline,
+    join_extra_tables,
+    join_pattern_rows,
+)
+from repro.relstore.planner import PatternAccess, RelationalPlan
+from repro.relstore.table import Row, TripleTable
+
+__all__ = ["ReferenceExecutor"]
+
+
+class ReferenceExecutor:
+    """Evaluates plans by decoding every scanned row into term bindings."""
+
+    def __init__(self, table: TripleTable):
+        self._table = table
+
+    # ------------------------------------------------------------------ #
+    # Public entry point (signature-compatible with RelationalExecutor)
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: SelectQuery,
+        plan: RelationalPlan,
+        work_budget: Optional[float] = None,
+        extra_tables: Optional[Iterable[ResultTable]] = None,
+        tables_are_views: bool = False,
+        compiled: Optional[CompiledPlan] = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` decode-per-row; ``compiled`` is accepted and ignored
+        (the reference path re-resolves constants on every execution — that
+        per-execution cost is part of what the benchmark measures)."""
+        counters = WorkCounters(queries_issued=1)
+        bindings: List[Binding] = [{}]
+        bindings = join_extra_tables(bindings, extra_tables, counters, tables_are_views, work_budget)
+
+        for step in plan:
+            # Guard before scanning: once the pipeline is empty, later steps
+            # must charge zero work, exactly like the ID-space executor.
+            if not bindings:
+                break
+            pattern_rows = list(self._pattern_bindings(step, counters))
+            bindings = join_pattern_rows(bindings, step.pattern, pattern_rows, counters)
+            check_work_budget(counters, work_budget)
+
+        return finish_pipeline(bindings, query, counters)
+
+    # ------------------------------------------------------------------ #
+    # Access paths
+    # ------------------------------------------------------------------ #
+    def _pattern_bindings(self, step: PatternAccess, counters: WorkCounters) -> Iterator[Binding]:
+        pattern = step.pattern
+        dictionary = self._table.dictionary
+
+        if step.access_path == "table_scan":
+            rows: Iterable[Row] = self._table.scan()
+            for row in rows:
+                counters.rows_scanned += 1
+                binding = bind_pattern_row(dictionary, pattern, row)
+                if binding is not None:
+                    yield binding
+            return
+
+        predicate_id = dictionary.lookup(pattern.predicate)
+        if predicate_id is None:
+            return
+
+        if step.access_path == "index_subject":
+            counters.index_lookups += 1
+            subject_id = dictionary.lookup(pattern.subject)
+            if subject_id is None:
+                return
+            rows = self._table.lookup_subject(predicate_id, subject_id)
+        elif step.access_path == "index_object":
+            counters.index_lookups += 1
+            object_id = dictionary.lookup(pattern.object)
+            if object_id is None:
+                return
+            rows = self._table.lookup_object(predicate_id, object_id)
+        elif step.access_path == "partition_scan":
+            rows = self._table.scan_predicate(predicate_id)
+        else:  # pragma: no cover - defensive
+            raise QueryExecutionError(f"unknown access path {step.access_path!r}")
+
+        for row in rows:
+            counters.rows_scanned += 1
+            binding = bind_pattern_row(dictionary, pattern, row)
+            if binding is not None:
+                yield binding

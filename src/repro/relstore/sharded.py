@@ -16,8 +16,11 @@ evenly across every shard.  Promotion is sticky — partitions never demote,
 so placement stays stable for concurrent readers.
 
 **Work accounting.** The scatter-gather executor reuses the single-table
-executor's join/filter/projection helpers and charges the *logical* work
-counters exactly as :class:`~repro.relstore.store.RelationalStore` would:
+executor's ID-space join/filter/projection helpers — shard probes match and
+return *integer id tuples*, the coordinator joins them centrally in ID space,
+and the surviving rows are decoded exactly once, post-merge (never per
+shard) — and charges the *logical* work counters exactly as
+:class:`~repro.relstore.store.RelationalStore` would:
 shard sub-scans sum to the same ``rows_scanned``, the central hash join
 produces the same ``rows_joined``, and one logical pattern access charges one
 ``index_lookups`` no matter how many shards were probed.  The differential
@@ -60,16 +63,22 @@ from repro.execution import ExecutionResult, ResultTable, ScatterGatherInfo
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import TripleSet
 from repro.rdf.terms import IRI, Triple
-from repro.sparql.ast import Binding, SelectQuery, TriplePattern
+from repro.sparql.ast import SelectQuery, TriplePattern
 
 from repro.relstore.executor import (
-    bind_pattern_row,
+    BoundPlanCache,
+    CompiledPlan,
+    CompiledStep,
+    IdRow,
+    QueryTermSpace,
     check_work_budget,
-    finish_pipeline,
-    join_extra_tables,
-    join_pattern_rows,
+    compile_plan,
+    finish_id_pipeline,
+    join_id_extra_tables,
+    join_id_pattern_rows,
+    match_id_rows,
 )
-from repro.relstore.planner import PatternAccess, RelationalPlan, plan_query
+from repro.relstore.planner import RelationalPlan, plan_query
 from repro.relstore.stats import PredicateStatistics, TableStatistics, predicate_statistics
 from repro.relstore.store import capped_execution, estimate_relational_seconds
 from repro.relstore.table import Row, TripleTable
@@ -101,10 +110,12 @@ class ShardingConfig:
 
 
 #: One probe = one shard's share of one plan step: (shard index, rows
-#: scanned, physical index lookups, priced seconds, pattern bindings).
+#: scanned, physical index lookups, priced seconds, matched id rows).
 #: The probe itself is the single pricing point — the metrics board and the
-#: parallel-time model both consume the same priced seconds.
-_Probe = Tuple[int, int, int, float, List[Binding]]
+#: parallel-time model both consume the same priced seconds.  Fragments are
+#: integer tuples (the pattern's variable columns): shards never decode —
+#: the coordinator joins in ID space and decodes once, post-merge.
+_Probe = Tuple[int, int, int, float, List[IdRow]]
 
 
 class ShardMetricsBoard:
@@ -199,6 +210,9 @@ class ShardedRelationalStore:
         #: form, so placement is identical no matter the insertion order).
         self._term_shard: Dict[int, int] = {}
         self._statistics: Optional[TableStatistics] = None
+        #: query → (plan, compiled plan) memo, invalidated by generation.
+        self._bound_plans = BoundPlanCache()
+        self._plan_generation = 0
         self.shard_metrics = ShardMetricsBoard(shards)
         self.total_insert_seconds = 0.0
         self._scatter_pool = None  # duck-typed: anything with .map(fn, iterable)
@@ -330,6 +344,7 @@ class ShardedRelationalStore:
                 inserted += 1
                 touched.add(row[1])
         self._statistics = None
+        self._plan_generation += 1
         for predicate_id in touched:
             self._maybe_promote(predicate_id)
         seconds = self.cost_model.relational_insert_seconds(inserted)
@@ -348,6 +363,7 @@ class ShardedRelationalStore:
         removed = self._tables[shard].delete(triple)
         if removed:
             self._statistics = None
+            self._plan_generation += 1
         return removed
 
     def __len__(self) -> int:
@@ -423,6 +439,13 @@ class ShardedRelationalStore:
     ) -> RelationalPlan:
         return plan_query(query, self.statistics(), pattern_order=pattern_order)
 
+    def _bound_plan(self, query: SelectQuery) -> Tuple[RelationalPlan, CompiledPlan]:
+        """The plan with every step's constants resolved once per store
+        generation — each shard probe then matches by ``int ==`` only."""
+        return self._bound_plans.get_or_bind(
+            query, self._plan_generation, lambda: self.plan(query), self.dictionary
+        )
+
     def execute(
         self,
         query: SelectQuery,
@@ -433,24 +456,36 @@ class ShardedRelationalStore:
     ) -> ExecutionResult:
         """Scatter-gather execution with unsharded-identical logical work.
 
+        The coordinator gathers *id tuples* from the shard probes, joins
+        them centrally in ID space, and decodes exactly once post-merge
+        (in :func:`finish_id_pipeline`) — never per shard.
+
         Raises :class:`~repro.errors.WorkBudgetExceeded` at the same step
         boundaries, with the same partial work, as the unsharded store.
         """
-        plan = self.plan(query, pattern_order=pattern_order)
+        if pattern_order is None:
+            plan, compiled = self._bound_plan(query)
+        else:
+            plan = self.plan(query, pattern_order=pattern_order)
+            compiled = compile_plan(plan, self.dictionary)
         counters = WorkCounters(queries_issued=1)
         step_probe_work: List[List[Tuple[int, float]]] = []
         shard_rows_scanned = 0
-        bindings: List[Binding] = [{}]
-        bindings = join_extra_tables(bindings, extra_tables, counters, tables_are_views, work_budget)
+        space = QueryTermSpace(self.dictionary)
+        schema: Tuple[str, ...] = ()
+        rows: List[IdRow] = [()]
+        schema, rows = join_id_extra_tables(
+            schema, rows, extra_tables, space, counters, tables_are_views, work_budget
+        )
 
         unprobed_index_lookups = 0
-        for step in plan:
+        for step in compiled.steps:
             # Guard before scattering: an empty pipeline charges zero work on
             # later steps, exactly like the unsharded executor.
-            if not bindings:
+            if not rows:
                 break
             probes = self._scatter(step)
-            pattern_rows: List[Binding] = []
+            pattern_rows: List[IdRow] = []
             step_work: List[Tuple[int, float]] = []
             for shard, scanned, _lookups, probe_seconds, fragment in probes:
                 counters.rows_scanned += scanned
@@ -461,7 +496,7 @@ class ShardedRelationalStore:
             # unsharded executor: charged once the predicate term is known,
             # no matter how many shards were physically probed (or whether
             # the bound term turned out to be absent).
-            if self._is_index_step(step) and self.dictionary.lookup(step.pattern.predicate) is not None:
+            if self._is_index_step(step) and step.predicate_id is not None:
                 counters.index_lookups += 1
                 if not probes:
                     # No shard was touched (bound term absent), so the lookup
@@ -469,10 +504,10 @@ class ShardedRelationalStore:
                     # would drop work the serial price includes.
                     unprobed_index_lookups += 1
             step_probe_work.append(step_work)
-            bindings = join_pattern_rows(bindings, step.pattern, pattern_rows, counters)
+            schema, rows = join_id_pattern_rows(schema, rows, step.matcher, pattern_rows, counters)
             check_work_budget(counters, work_budget)
 
-        result = finish_pipeline(bindings, query, counters)
+        result = finish_id_pipeline(schema, rows, query, counters, space)
         self._price(result, step_probe_work, shard_rows_scanned, unprobed_index_lookups)
         return result
 
@@ -494,30 +529,31 @@ class ShardedRelationalStore:
     # Scatter internals
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _is_index_step(step: PatternAccess) -> bool:
+    def _is_index_step(step: CompiledStep) -> bool:
         return step.access_path in ("index_subject", "index_object")
 
-    def _scatter(self, step: PatternAccess) -> List[_Probe]:
+    def _scatter(self, step: CompiledStep) -> List[_Probe]:
         """Probe every shard the step's access path touches.
 
-        The returned probes are ordered by shard index, so the gathered
-        pattern rows are deterministic regardless of pool scheduling.  The
-        *logical* index-lookup charge happens at the coordinator (one per
-        step, like the unsharded executor); per-shard physical lookups are
-        recorded in the probe tuples and the metrics board only.
+        The step's constants arrive pre-resolved on the :class:`CompiledStep`
+        (one dictionary lookup per plan binding, not per execution).  The
+        returned probes are ordered by shard index, so the gathered pattern
+        rows are deterministic regardless of pool scheduling.  The *logical*
+        index-lookup charge happens at the coordinator (one per step, like
+        the unsharded executor); per-shard physical lookups are recorded in
+        the probe tuples and the metrics board only.
         """
-        pattern = step.pattern
         if step.access_path == "table_scan":
             targets = [(shard, "table_scan", None) for shard in range(self.shard_count)]
-            return self._run_probes(pattern, targets)
+            return self._run_probes(step, targets)
 
-        predicate_id = self.dictionary.lookup(pattern.predicate)
+        predicate_id = step.predicate_id
         if predicate_id is None:
             return []
         placement = self._placement.get(predicate_id)
 
         if step.access_path == "index_subject":
-            subject_id = self.dictionary.lookup(pattern.subject)
+            subject_id = step.subject_id
             if subject_id is None or placement is None:
                 return []
             if placement == SUBJECT_SHARDED:
@@ -526,7 +562,7 @@ class ShardedRelationalStore:
                 shards = (placement,)
             targets = [(shard, "lookup_subject", (predicate_id, subject_id)) for shard in shards]
         elif step.access_path == "index_object":
-            object_id = self.dictionary.lookup(pattern.object)
+            object_id = step.object_id
             if object_id is None or placement is None:
                 return []
             if placement == SUBJECT_SHARDED:
@@ -544,12 +580,12 @@ class ShardedRelationalStore:
             targets = [(shard, "scan_predicate", (predicate_id,)) for shard in shards]
         else:  # pragma: no cover - defensive, mirrors RelationalExecutor
             raise QueryExecutionError(f"unknown access path {step.access_path!r}")
-        return self._run_probes(pattern, targets)
+        return self._run_probes(step, targets)
 
     def _run_probes(
-        self, pattern: TriplePattern, targets: List[Tuple[int, str, Optional[tuple]]]
+        self, step: CompiledStep, targets: List[Tuple[int, str, Optional[tuple]]]
     ) -> List[_Probe]:
-        probe = self._make_probe(pattern)
+        probe = self._make_probe(step)
         pool = self._scatter_pool
         if pool is not None and len(targets) > 1:
             try:
@@ -566,9 +602,9 @@ class ShardedRelationalStore:
         return [probe(target) for target in targets]
 
     def _make_probe(
-        self, pattern: TriplePattern
+        self, step: CompiledStep
     ) -> Callable[[Tuple[int, str, Optional[tuple]]], _Probe]:
-        dictionary = self.dictionary
+        matcher = step.matcher
         tables = self._tables
         board = self.shard_metrics
         cost_model = self.cost_model
@@ -578,7 +614,7 @@ class ShardedRelationalStore:
             table = tables[shard]
             board.begin(shard)
             scanned = 0
-            fragment: List[Binding] = []
+            fragment: List[IdRow] = []
             try:
                 if access == "table_scan":
                     rows: Iterable[Row] = table.scan()
@@ -592,11 +628,12 @@ class ShardedRelationalStore:
                 else:  # lookup_object
                     rows = table.lookup_object(*args)
                     lookups = 1
-                for row in rows:
-                    scanned += 1
-                    binding = bind_pattern_row(dictionary, pattern, row)
-                    if binding is not None:
-                        fragment.append(binding)
+                # Pure ID-space matching: the probe never touches the term
+                # dictionary, only compares ints (late materialization — the
+                # coordinator decodes once, after the central merge).
+                local = WorkCounters()
+                fragment = match_id_rows(matcher, rows, local)
+                scanned = local.rows_scanned
             finally:
                 seconds = cost_model.relational_scan_seconds(scanned, lookups)
                 board.finish(shard, scanned, lookups, seconds)

@@ -40,6 +40,25 @@ class PredicateStatistics:
             return 0.0
         return self.cardinality / self.distinct_objects
 
+    @property
+    def subject_lookup_rows(self) -> int:
+        """Expected rows of one ``(predicate, subject)`` point lookup.
+
+        The distinct-count estimate ``cardinality / distinct_subjects``,
+        rounded and floored at one row — what an index-path plan step should
+        be priced at instead of the whole partition's cardinality.
+        """
+        if self.cardinality == 0:
+            return 0
+        return max(1, int(round(self.avg_fanout)))
+
+    @property
+    def object_lookup_rows(self) -> int:
+        """Expected rows of one ``(predicate, object)`` point lookup."""
+        if self.cardinality == 0:
+            return 0
+        return max(1, int(round(self.avg_fanin)))
+
 
 @dataclass
 class TableStatistics:
@@ -58,6 +77,23 @@ class TableStatistics:
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
+    def estimate_index_rows(self, pattern: TriplePattern, access_path: str) -> int:
+        """Point-lookup estimate for an index-path plan step.
+
+        Uses the per-predicate distinct counts: an ``index_subject`` step is
+        expected to touch ``cardinality / distinct_subjects`` rows, an
+        ``index_object`` step ``cardinality / distinct_objects``.  Returns 0
+        for unknown predicates (the lookup cannot match anything).
+        """
+        if not isinstance(pattern.predicate, IRI):
+            return 0
+        stats = self.per_predicate.get(pattern.predicate)
+        if stats is None:
+            return 0
+        if access_path == "index_subject":
+            return stats.subject_lookup_rows
+        return stats.object_lookup_rows
+
     def estimate_pattern_rows(self, pattern: TriplePattern) -> int:
         """Estimated number of rows matching a single triple pattern."""
         if isinstance(pattern.predicate, IRI):

@@ -22,8 +22,14 @@ from repro.rdf.graph import TripleSet
 from repro.rdf.terms import IRI, Triple
 from repro.sparql.ast import SelectQuery, TriplePattern
 
-from repro.relstore.executor import RelationalExecutor, relational_work_units
+from repro.relstore.executor import (
+    BoundPlanCache,
+    CompiledPlan,
+    RelationalExecutor,
+    relational_work_units,
+)
 from repro.relstore.planner import RelationalPlan, plan_query
+from repro.relstore.reference import ReferenceExecutor
 from repro.relstore.stats import TableStatistics, collect_statistics
 from repro.relstore.table import TripleTable
 from repro.relstore.views import MaterializedView, MaterializedViewManager
@@ -71,17 +77,32 @@ class RelationalStore:
     view_row_budget:
         When given, a :class:`MaterializedViewManager` is attached with that
         row budget (used by the RDB-views baseline).
+    engine:
+        ``"idspace"`` (default) runs the late-materialization ID-space
+        engine with its bound-plan memo; ``"reference"`` runs the retained
+        decode-per-row executor (the differential oracle and the benchmark
+        baseline), which re-plans and re-resolves constants per execution
+        like the pre-PR-3 store did.
     """
 
     def __init__(
         self,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         view_row_budget: Optional[int] = None,
+        engine: str = "idspace",
     ):
+        if engine not in ("idspace", "reference"):
+            raise ValueError(f"unknown relational engine {engine!r}")
         self.cost_model = cost_model
+        self.engine = engine
         self.table = TripleTable()
-        self._executor = RelationalExecutor(self.table)
+        self._executor = (
+            RelationalExecutor(self.table) if engine == "idspace" else ReferenceExecutor(self.table)
+        )
         self._statistics: Optional[TableStatistics] = None
+        #: query → (plan, compiled plan) memo, invalidated by generation.
+        self._bound_plans = BoundPlanCache()
+        self._plan_generation = 0
         self.view_manager: Optional[MaterializedViewManager] = (
             MaterializedViewManager(row_budget=view_row_budget) if view_row_budget is not None else None
         )
@@ -93,10 +114,21 @@ class RelationalStore:
     def load(self, triples: Iterable[Triple] | TripleSet) -> float:
         """Bulk-load triples; returns the modelled insert latency."""
         inserted = self.table.insert_all(triples)
-        self._statistics = None
+        self._invalidate_derived_state()
         seconds = self.cost_model.relational_insert_seconds(inserted)
         self.total_insert_seconds += seconds
         return seconds
+
+    def _invalidate_derived_state(self) -> None:
+        """Drop statistics and age out bound plans after any mutation.
+
+        New terms may have entered the dictionary and cardinalities may have
+        shifted, so both the plan ordering and the pre-resolved constant ids
+        of every bound plan are suspect; bumping the generation makes the
+        memo re-bind lazily, one query at a time.
+        """
+        self._statistics = None
+        self._plan_generation += 1
 
     def insert(self, triples: Iterable[Triple]) -> float:
         """Insert new knowledge (the cheap-update property of the store)."""
@@ -105,7 +137,7 @@ class RelationalStore:
     def delete(self, triple: Triple) -> bool:
         removed = self.table.delete(triple)
         if removed:
-            self._statistics = None
+            self._invalidate_derived_state()
         return removed
 
     def __len__(self) -> int:
@@ -139,6 +171,14 @@ class RelationalStore:
     def plan(self, query: SelectQuery, pattern_order: Sequence[TriplePattern] | None = None) -> RelationalPlan:
         return plan_query(query, self.statistics(), pattern_order=pattern_order)
 
+    def _bound_plan(self, query: SelectQuery) -> tuple[RelationalPlan, CompiledPlan]:
+        """The query's plan with constants pre-resolved, memoized per store
+        generation (the serving layer replays identical parsed queries, so a
+        hit skips planning *and* every per-pattern constant lookup)."""
+        return self._bound_plans.get_or_bind(
+            query, self._plan_generation, lambda: self.plan(query), self.table.dictionary
+        )
+
     def execute(
         self,
         query: SelectQuery,
@@ -155,13 +195,18 @@ class RelationalStore:
             When ``work_budget`` (in relational work units) is exhausted; the
             exception carries the partial work so the caller can price it.
         """
-        plan = self.plan(query, pattern_order=pattern_order)
+        compiled: Optional[CompiledPlan] = None
+        if self.engine == "idspace" and pattern_order is None:
+            plan, compiled = self._bound_plan(query)
+        else:
+            plan = self.plan(query, pattern_order=pattern_order)
         result = self._executor.execute(
             query,
             plan,
             work_budget=work_budget,
             extra_tables=extra_tables,
             tables_are_views=tables_are_views,
+            compiled=compiled,
         )
         result.seconds = self.cost_model.relational_query_seconds(result.counters)
         result.store = "relational"

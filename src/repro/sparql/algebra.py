@@ -10,7 +10,7 @@ them.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.rdf.terms import IRI, Literal, Variable
 from repro.sparql.ast import Binding, SelectQuery, TriplePattern
@@ -124,6 +124,7 @@ def pattern_selectivity_key(pattern: TriplePattern) -> Tuple[int, int]:
 def order_patterns_greedily(
     patterns: Sequence[TriplePattern],
     cardinality: Dict[IRI, int] | None = None,
+    estimate: "Callable[[TriplePattern], int] | None" = None,
 ) -> List[TriplePattern]:
     """Order patterns so each one (after the first) joins with prior ones.
 
@@ -132,10 +133,18 @@ def order_patterns_greedily(
     connected pattern with the best key.  Disconnected patterns are appended
     at the end in key order (they form a cartesian product regardless of
     order, so the ordering only needs to be deterministic).
+
+    ``estimate`` (a per-*pattern* row estimator, e.g. the relational
+    planner's point-lookup-aware cardinality estimate) refines the tiebreak
+    within each bound-position class: two index-path patterns are then
+    ordered by how many rows the lookup is expected to touch rather than by
+    their predicates' whole-partition cardinality.
     """
 
     def key(pattern: TriplePattern) -> Tuple:
         base = pattern_selectivity_key(pattern)
+        if estimate is not None:
+            return (*base, estimate(pattern), pattern.n3())
         if cardinality is not None and isinstance(pattern.predicate, IRI):
             return (*base, cardinality.get(pattern.predicate, 1 << 30), pattern.n3())
         return (*base, 0, pattern.n3())

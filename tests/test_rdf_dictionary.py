@@ -62,3 +62,27 @@ class TestTermDictionary:
             dictionary.encode(IRI(f"http://x.org/{index}"))
         assert {term_id for _term, term_id in dictionary.items()} == set(range(4))
         assert len(list(dictionary.terms())) == 4
+
+
+class TestBatchHelpers:
+    def test_decode_many_round_trips_in_order(self):
+        dictionary = TermDictionary()
+        terms = [YAGO.term(f"e{i}") for i in range(4)] + [Literal("x")]
+        ids = [dictionary.encode(t) for t in terms]
+        assert dictionary.decode_many(ids) == terms
+        assert dictionary.decode_many(reversed(ids)) == list(reversed(terms))
+        assert dictionary.decode_many([]) == []
+
+    def test_decode_many_checks_bounds_like_decode(self):
+        dictionary = TermDictionary()
+        dictionary.encode(YAGO.Alice)
+        with pytest.raises(StorageError):
+            dictionary.decode_many([0, 1])
+        with pytest.raises(StorageError):
+            dictionary.decode_many([-1])
+
+    def test_lookup_many_mixes_known_and_unknown(self):
+        dictionary = TermDictionary()
+        known = YAGO.Alice
+        dictionary.encode(known)
+        assert dictionary.lookup_many([known, YAGO.term("ghost"), known]) == [0, None, 0]

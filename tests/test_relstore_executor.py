@@ -2,10 +2,15 @@
 
 import pytest
 
+from repro.cost.counters import WorkCounters
 from repro.errors import WorkBudgetExceeded
 from repro.execution import ResultTable
-from repro.rdf import IRI, Literal, YAGO
+from repro.rdf import IRI, Literal, Triple, YAGO
 from repro.relstore import RelationalStore, plan_query, relational_work_units
+from repro.relstore.executor import (
+    QueryTermSpace,
+    join_result_table,
+)
 from repro.sparql import parse_query
 
 
@@ -178,3 +183,124 @@ class TestPlanner:
     def test_explicit_pattern_order_is_respected(self, store, advisor_query):
         plan = store.plan(advisor_query, pattern_order=list(advisor_query.patterns))
         assert [step.pattern for step in plan] == list(advisor_query.patterns)
+
+    def test_index_steps_are_estimated_as_point_lookups(self, store):
+        """The old ``min(estimated, max(1, estimated))`` clamp was a no-op;
+        index-path steps must now carry the distinct-count point-lookup
+        estimate instead of anything near the partition cardinality."""
+        query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn <%s> . }" % YAGO.term("Rome").value)
+        plan = store.plan(query)
+        step = plan.steps[0]
+        assert step.access_path == "index_object"
+        stats = store.statistics().per_predicate[YAGO.term("wasBornIn")]
+        assert step.estimated_rows == stats.object_lookup_rows
+        assert step.estimated_rows < stats.cardinality
+
+    def test_greedy_ordering_prefers_cheap_point_lookups(self):
+        """Two index-path patterns tie on bound positions; the point-lookup
+        estimate (not the whole-partition cardinality) must break the tie.
+
+        ``big`` is the larger partition but each object matches exactly one
+        row (fan-in 1), while ``small`` funnels every row onto one object
+        (fan-in 6): ordering by raw cardinality would run ``small`` first,
+        ordering by the point-lookup estimate runs ``big`` first.
+        """
+        big, small = YAGO.term("big"), YAGO.term("small")
+        hub = YAGO.term("hub")
+        triples = [Triple(YAGO.term(f"s{i}"), big, YAGO.term(f"o{i}")) for i in range(30)]
+        triples += [Triple(YAGO.term(f"t{i}"), small, hub) for i in range(6)]
+        store = RelationalStore()
+        store.load(triples)
+        query = parse_query(
+            "SELECT ?p ?q WHERE { ?p y:big <%s> . ?q y:small <%s> . }"
+            % (YAGO.term("o3").value, hub.value)
+        )
+        plan = store.plan(query)
+        assert [step.pattern.predicate for step in plan.steps] == [big, small]
+        assert [step.estimated_rows for step in plan.steps] == [1, 6]
+
+
+class TestBoundPlanMemo:
+    def test_repeated_execution_binds_the_plan_once(self, store, advisor_query):
+        store.execute(advisor_query)
+        first = store._bound_plans.get(advisor_query, store._plan_generation)
+        assert first is not None
+        store.execute(advisor_query)
+        again = store._bound_plans.get(advisor_query, store._plan_generation)
+        # Same memo entry: the plan was not re-planned nor re-compiled.
+        assert again[0] is first[0] and again[1] is first[1]
+
+    def test_mutations_invalidate_bound_constants(self, store):
+        """A constant unknown at first binding must be re-resolved after an
+        insert introduces it — a stale compiled plan would keep answering
+        from the 'unmatchable' fast path."""
+        zoe = YAGO.term("Zoe")
+        query = parse_query("SELECT ?c WHERE { <%s> y:wasBornIn ?c . }" % zoe.value)
+        assert len(store.execute(query)) == 0
+        store.insert([Triple(zoe, YAGO.term("wasBornIn"), YAGO.term("Berlin"))])
+        result = store.execute(query)
+        assert [b["c"] for b in result.bindings] == [YAGO.term("Berlin")]
+
+    def test_reference_engine_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            RelationalStore(engine="no-such-engine")
+
+    def test_memo_evicts_least_recently_bound_plan(self, store):
+        from repro.relstore import BoundPlanCache
+
+        cache = BoundPlanCache(capacity=2)
+        plans = {}
+        for name in ("a", "b", "c"):
+            query = parse_query("SELECT ?p WHERE { ?p y:%s ?o . }" % name)
+            plan = store.plan(query)
+            plans[name] = (query, plan)
+            cache.put(query, generation=1, plan=plan, compiled=None)
+        assert len(cache) == 2
+        assert cache.get(plans["a"][0], generation=1) is None  # evicted
+        assert cache.get(plans["c"][0], generation=1) is not None
+        # A stale generation misses even for a resident entry.
+        assert cache.get(plans["c"][0], generation=2) is None
+
+
+class TestQueryTermSpace:
+    def test_unknown_terms_get_stable_local_ids(self, store):
+        space = QueryTermSpace(store.table.dictionary)
+        ghost = IRI("http://example.org/ghost")
+        known = YAGO.term("Alice")
+        assert space.encode(known) == store.table.dictionary.lookup(known)
+        first = space.encode(ghost)
+        assert first < 0
+        assert space.encode(ghost) == first  # deduplicated per execution
+        assert space.decode(first) == ghost
+        mapping = space.decode_map([first, space.encode(known)])
+        assert mapping[first] == ghost and mapping[space.encode(known)] == known
+
+
+class TestJoinResultTableHashJoin:
+    def test_shared_variable_join_filters_like_the_nested_loop(self):
+        """The hash-indexed join must produce exactly what the cartesian
+        merge-and-filter produced: matching rows only, same order, same
+        ``rows_joined`` charge."""
+        alice, bob = YAGO.term("Alice"), YAGO.term("Bob")
+        bindings = [{"p": alice, "x": Literal("1")}, {"p": bob, "x": Literal("2")}]
+        table = ResultTable(
+            name="tmp",
+            variables=("p", "tag"),
+            rows=[(alice, Literal("a1")), (alice, Literal("a2")), (YAGO.term("Carol"), Literal("c"))],
+        )
+        counters = WorkCounters()
+        joined = join_result_table(bindings, table, counters)
+        assert joined == [
+            {"p": alice, "x": Literal("1"), "tag": Literal("a1")},
+            {"p": alice, "x": Literal("1"), "tag": Literal("a2")},
+        ]
+        assert counters.rows_scanned == 3  # the table's rows
+        assert counters.rows_joined == 2  # produced tuples only
+
+    def test_disjoint_table_still_produces_the_cartesian_product(self):
+        bindings = [{"p": YAGO.term("Alice")}]
+        table = ResultTable(name="tmp", variables=("y",), rows=[(Literal("1"),), (Literal("2"),)])
+        counters = WorkCounters()
+        joined = join_result_table(bindings, table, counters)
+        assert len(joined) == 2
+        assert counters.rows_joined == 2
