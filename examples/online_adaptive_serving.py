@@ -1,0 +1,100 @@
+"""Online adaptive tuning in the serving layer: surviving a workload drift.
+
+`examples/adaptive_tuning.py` shows DOTIL re-tuning between *offline*
+experiment batches.  This example shows the same adaptivity **inside the
+live serving loop**: a `QueryService` with `ServiceConfig(adaptive=...)`
+harvests the complex subqueries it serves into a sliding window, and its
+`TuningDaemon` re-places partitions epoch by epoch — each epoch's transfers
+and evictions applied under one generation bump, so the result cache is
+emptied once per epoch instead of once per move.
+
+The traffic is a WatDiv-style template mix that flips mid-stream from
+linear/star shapes to snowflake/complex shapes.  A second service with a
+frozen placement serves the same stream for comparison: after the drift its
+modelled time-to-insight stays degraded while the adaptive service recovers.
+
+Run with::
+
+    python examples/online_adaptive_serving.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveConfig,
+    Dotil,
+    DotilConfig,
+    DualStore,
+    QueryService,
+    ServiceConfig,
+    generate_watdiv,
+    watdiv_workload,
+)
+
+EPOCHS = 8
+CONFIG = DotilConfig(r_bg=0.15, prob=1.0, gamma=0.7, lam=4.5)
+
+
+def family_mix(dataset, *families):
+    queries = []
+    for family in families:
+        queries.extend(watdiv_workload(dataset, family=family, seed=19).ordered())
+    return queries
+
+
+def main() -> None:
+    dataset = generate_watdiv(target_triples=6000, seed=7)
+    phase_a = family_mix(dataset, "linear", "star")
+    phase_b = family_mix(dataset, "snowflake", "complex")
+    drift = EPOCHS // 2
+    print(
+        f"knowledge graph: {len(dataset.triples)} triples; "
+        f"{EPOCHS} traffic epochs, mix drifts linear+star -> snowflake+complex "
+        f"after epoch {drift - 1}\n"
+    )
+
+    adaptive_dual = DualStore(CONFIG).load(dataset.triples)
+    static_dual = DualStore(CONFIG).load(dataset.triples)
+
+    service_config = ServiceConfig(
+        adaptive=AdaptiveConfig(
+            window_size=max(len(phase_a), len(phase_b)),
+            epoch_queries=0,  # we drive epochs explicitly, one per traffic epoch
+            tuner_factory=lambda dual: Dotil(dual, CONFIG),
+        )
+    )
+
+    print(f"{'epoch':>5} {'mix':>16} {'adaptive TTI':>13} {'static TTI':>11} {'moves':>6}")
+    with QueryService(adaptive_dual, service_config) as adaptive, QueryService(
+        static_dual
+    ) as static:
+        for epoch in range(EPOCHS):
+            mix = "linear+star" if epoch < drift else "snowflake+complex"
+            batch = phase_a if epoch < drift else phase_b
+            adaptive_tti = adaptive.run_batch(batch).tti
+            static_tti = static.run_batch(batch).tti
+            report = adaptive.tune_now()
+            marker = "  <- drift" if epoch == drift else ""
+            print(
+                f"{epoch:>5} {mix:>16} {adaptive_tti:>13.3f} {static_tti:>11.3f} "
+                f"{report.moves:>6}{marker}"
+            )
+
+        metrics = adaptive.adaptive_metrics()
+        events = adaptive.metrics.counters.invalidation_events
+        print(
+            f"\nadaptive service: {metrics['epochs']:.0f} tuning epochs applied "
+            f"{metrics['moves_applied']:.0f} partition moves but invalidated the result "
+            f"cache only {events} times ({metrics['invalidations_avoided']:.0f} "
+            f"invalidations avoided by batching)."
+        )
+        improvement = (static_tti - adaptive_tti) / static_tti * 100.0
+        print(
+            f"final drifted epoch: adaptive {adaptive_tti:.3f}s vs static {static_tti:.3f}s "
+            f"modelled TTI ({improvement:.1f}% better) — the frozen placement never "
+            f"recovers, the daemon re-learns the hot partitions."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,7 @@ from repro.core import (
     DualStoreDesign,
     IdealTuner,
     LRUTuner,
+    MoveReceipt,
     OneOffTuner,
     QueryProcessor,
     QueryRecord,
@@ -80,7 +81,15 @@ from repro.relstore import (
     ShardingConfig,
     SQLiteBackend,
 )
-from repro.serve import QueryService, ServedBatch, ServiceConfig, ServiceMetrics
+from repro.serve import (
+    AdaptiveConfig,
+    QueryService,
+    ServedBatch,
+    ServiceConfig,
+    ServiceMetrics,
+    TuningDaemon,
+    WorkloadWindow,
+)
 from repro.sparql import SelectQuery, TriplePattern, canonical_query_text, parse_query
 from repro.workload import (
     Workload,
@@ -98,6 +107,7 @@ __all__ = [
     "__version__",
     # core
     "DualStore",
+    "MoveReceipt",
     "Dotil",
     "DotilConfig",
     "DEFAULT_CONFIG",
@@ -151,6 +161,9 @@ __all__ = [
     "ServiceConfig",
     "ServedBatch",
     "ServiceMetrics",
+    "AdaptiveConfig",
+    "TuningDaemon",
+    "WorkloadWindow",
     # workloads
     "Workload",
     "generate_yago",

@@ -2,7 +2,7 @@
 
 from repro.core.baseline_tuners import IdealTuner, LRUTuner, OneOffTuner, StaticTuner
 from repro.core.config import DEFAULT_CONFIG, PAPER_TUNED_CONFIG, DotilConfig
-from repro.core.dualstore import DualStore
+from repro.core.dualstore import DualStore, MoveReceipt
 from repro.core.identifier import (
     ComplexSubquery,
     ComplexSubqueryIdentifier,
@@ -45,6 +45,7 @@ __all__ = [
     "ACTION_KEEP",
     "ACTION_MOVE",
     "DualStore",
+    "MoveReceipt",
     "QueryProcessor",
     "ProcessedQuery",
     "ROUTE_GRAPH",

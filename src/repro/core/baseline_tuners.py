@@ -69,7 +69,7 @@ def _apply_target_set(dual: DualStore, target: List[IRI], report: TuningReport) 
         for predicate in evictable:
             if needed <= design.remaining_budget():
                 break
-            dual.evict_partition(predicate)
+            report.evict_seconds += dual.evict_partition(predicate)
             report.evicted.append(predicate)
 
     for predicate in target:
@@ -157,7 +157,7 @@ class LRUTuner(BaseTuner):
             key=lambda p: (self._recency.get(p, 0), p.value),
         )
         for predicate in to_evict:
-            self.dual.evict_partition(predicate)
+            report.evict_seconds += self.dual.evict_partition(predicate)
             report.evicted.append(predicate)
 
         for predicate in desired:

@@ -16,7 +16,9 @@ tuning policies, which is exactly what the tuner-comparison experiment needs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.cost.resources import ResourceThrottle
@@ -37,7 +39,28 @@ from repro.core.metrics import QueryRecord
 from repro.core.partitions import DualStoreDesign
 from repro.core.processor import ProcessedQuery, QueryProcessor
 
-__all__ = ["DualStore"]
+__all__ = ["DualStore", "MoveReceipt"]
+
+
+@dataclass
+class MoveReceipt:
+    """What one batched physical-design change (:meth:`DualStore.apply_moves`)
+    actually did, with symmetric modelled cost accounting for both directions."""
+
+    transferred: List[IRI] = field(default_factory=list)
+    evicted: List[IRI] = field(default_factory=list)
+    import_seconds: float = 0.0
+    evict_seconds: float = 0.0
+
+    @property
+    def moves(self) -> int:
+        """Total physical moves applied (transfers plus evictions)."""
+        return len(self.transferred) + len(self.evicted)
+
+    @property
+    def seconds(self) -> float:
+        """Total modelled cost of the batch (imports plus evictions)."""
+        return self.import_seconds + self.evict_seconds
 
 
 class DualStore:
@@ -106,6 +129,10 @@ class DualStore:
         #: never return a result that predates a mutation.
         self.generation: int = 0
         self._invalidation_hooks: List[Callable[[int], None]] = []
+        # Batched-mutation state (see batch_mutations): while the depth is
+        # positive, generation bumps are coalesced into one fired at exit.
+        self._batch_depth: int = 0
+        self._batched_bump_pending: bool = False
 
     # ------------------------------------------------------------------ #
     # Mutation generations (consumed by repro.serve caches)
@@ -120,9 +147,39 @@ class DualStore:
         self._invalidation_hooks.remove(hook)
 
     def _bump_generation(self) -> None:
+        if self._batch_depth > 0:
+            self._batched_bump_pending = True
+            return
         self.generation += 1
         for hook in self._invalidation_hooks:
             hook(self.generation)
+
+    @contextmanager
+    def batch_mutations(self) -> Iterator["DualStore"]:
+        """Coalesce the generation bumps of several mutations into one.
+
+        Inside the context, mutations (``insert``/``transfer_partition``/
+        ``evict_partition``) take full physical effect immediately but do not
+        bump :attr:`generation`; on exit, if any mutation happened, the
+        generation advances **once** and the invalidation hooks fire **once**.
+        This is what lets a tuning epoch of k moves cost the serving layer one
+        result-cache invalidation instead of k.
+
+        The usual mutation contract still applies — and is load-bearing here:
+        no query may execute concurrently with the context, because until the
+        exit bump a concurrent execution would be tagged with the pre-batch
+        generation while observing mid-batch store state.  The serving layer's
+        :class:`~repro.serve.adaptive.TuningDaemon` guarantees exclusivity via
+        its read/write gate.  Nesting is allowed; only the outermost exit fires.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batched_bump_pending:
+                self._batched_bump_pending = False
+                self._bump_generation()
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -179,19 +236,52 @@ class DualStore:
         self._bump_generation()
         return seconds
 
-    def evict_partition(self, predicate: IRI) -> int:
-        """Remove one partition from the graph store; returns triples evicted."""
+    def evict_partition(self, predicate: IRI) -> float:
+        """Remove one partition from the graph store; returns eviction seconds.
+
+        Like :meth:`transfer_partition`, the return value is the *modelled*
+        cost of the physical move (the tuning daemon accounts both directions
+        symmetrically).  The number of triples removed is available via the
+        partition sizes before eviction.
+        """
         self._require_loaded()
         assert self.design is not None
         removed = self.graph.evict_partition(predicate)
         self.design.mark_evicted(predicate)
         self.transfer_log.append(("evict", predicate))
         self._bump_generation()
-        return removed
+        return self.cost_model.graph_evict_seconds(removed)
 
     def transfer_partitions(self, predicates: Iterable[IRI]) -> float:
-        """Transfer several partitions; returns the total import seconds."""
-        return sum(self.transfer_partition(p) for p in predicates)
+        """Transfer several partitions; returns the total import seconds.
+
+        A known batch of moves, so it batches: one generation bump and one
+        invalidation for the lot (see :meth:`apply_moves`)."""
+        return self.apply_moves(transfers=predicates).import_seconds
+
+    def apply_moves(
+        self,
+        transfers: Iterable[IRI] = (),
+        evictions: Iterable[IRI] = (),
+    ) -> MoveReceipt:
+        """Apply a batch of physical-design moves under one generation bump.
+
+        Evictions run first (they free budget for the incoming transfers),
+        then transfers, all inside :meth:`batch_mutations` — so however many
+        moves the batch contains, the serving layer sees exactly one
+        invalidation.  Returns a :class:`MoveReceipt` with the modelled cost
+        of each direction.
+        """
+        self._require_loaded()
+        receipt = MoveReceipt()
+        with self.batch_mutations():
+            for predicate in evictions:
+                receipt.evict_seconds += self.evict_partition(predicate)
+                receipt.evicted.append(predicate)
+            for predicate in transfers:
+                receipt.import_seconds += self.transfer_partition(predicate)
+                receipt.transferred.append(predicate)
+        return receipt
 
     # ------------------------------------------------------------------ #
     # Costs used by the tuner's reward computation

@@ -40,7 +40,13 @@ class TuningReport:
     kept: List[IRI] = field(default_factory=list)
     trained_subqueries: int = 0
     import_seconds: float = 0.0
+    evict_seconds: float = 0.0
     qmatrix_sum: Tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+
+    @property
+    def moves(self) -> int:
+        """Physical moves this phase applied (transfers plus evictions)."""
+        return len(self.transferred) + len(self.evicted)
 
     def merge(self, other: "TuningReport") -> "TuningReport":
         return TuningReport(
@@ -49,6 +55,7 @@ class TuningReport:
             kept=self.kept + other.kept,
             trained_subqueries=self.trained_subqueries + other.trained_subqueries,
             import_seconds=self.import_seconds + other.import_seconds,
+            evict_seconds=self.evict_seconds + other.evict_seconds,
             qmatrix_sum=other.qmatrix_sum or self.qmatrix_sum,
         )
 
@@ -176,7 +183,7 @@ class Dotil(BaseTuner):
         for predicate in candidates:
             if required <= design.remaining_budget():
                 break
-            self.dual.evict_partition(predicate)
+            report.evict_seconds += self.dual.evict_partition(predicate)
             report.evicted.append(predicate)
 
     # ------------------------------------------------------------------ #

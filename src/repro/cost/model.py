@@ -59,6 +59,7 @@ class CostModel:
     graph_edge_traverse: float = 5.0e-6
     graph_query_overhead: float = 0.002
     graph_import_per_triple: float = 5.0e-5
+    graph_evict_per_triple: float = 5.0e-6
     graph_restart_overhead: float = 5.0
 
     # Cross-store data movement (intermediate results, Case 2 plans)
@@ -147,6 +148,15 @@ class CostModel:
             cost += self.graph_restart_overhead
         return cost
 
+    def graph_evict_seconds(self, triples: int) -> float:
+        """Latency of dropping a partition from the graph store.
+
+        Eviction is priced an order of magnitude cheaper than import (deleting
+        edges needs no index rebuild), but it is not free: the adaptive tuning
+        daemon accounts both directions of a move symmetrically.
+        """
+        return triples * self.graph_evict_per_triple
+
     def relational_insert_seconds(self, triples: int) -> float:
         """Latency of inserting triples into the relational store."""
         return triples * self.relational_insert_per_triple
@@ -169,6 +179,7 @@ class CostModel:
                 "graph_edge_traverse",
                 "graph_query_overhead",
                 "graph_import_per_triple",
+                "graph_evict_per_triple",
                 "graph_restart_overhead",
                 "migration_per_row",
                 "migration_overhead",

@@ -17,9 +17,17 @@ from repro.errors import QueryExecutionError
 from repro.rdf.terms import IRI, Literal, Variable
 from repro.sparql.ast import Filter, SelectQuery
 
-__all__ = ["CompiledSQL", "compile_select"]
+__all__ = ["CompiledSQL", "compile_select", "FILTER_FUNCTION_NAME"]
 
 TRIPLE_TABLE_NAME = "triples"
+
+#: Name of the SQL function implementing the subset's FILTER semantics
+#: (registered by :class:`~repro.relstore.sqlite_backend.SQLiteBackend`).
+#: Raw SQL comparison over the stored surface forms would compare typed
+#: literals *lexicographically* — ``"5"`` > ``"250"`` — and silently diverge
+#: from the Python engines' typed comparison, so filters are evaluated by
+#: the same :func:`repro.sparql.ast.compare_terms` the executors use.
+FILTER_FUNCTION_NAME = "repro_filter"
 
 
 @dataclass(frozen=True)
@@ -93,7 +101,7 @@ def compile_select(query: SelectQuery) -> CompiledSQL:
 
 def _compile_filter(flt: Filter, variable_columns: Dict[str, str]) -> Tuple[str, List[str]]:
     parts: List[str] = []
-    parameters: List[str] = []
+    parameters: List[str] = [flt.operator]
     for term in (flt.left, flt.right):
         if isinstance(term, Variable):
             column = variable_columns.get(term.name)
@@ -103,5 +111,4 @@ def _compile_filter(flt: Filter, variable_columns: Dict[str, str]) -> Tuple[str,
         else:
             parts.append("?")
             parameters.append(_term_sql_value(term))
-    operator = "<>" if flt.operator == "!=" else flt.operator
-    return f"{parts[0]} {operator} {parts[1]}", parameters
+    return f"{FILTER_FUNCTION_NAME}(?, {parts[0]}, {parts[1]}) = 1", parameters

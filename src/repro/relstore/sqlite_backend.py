@@ -21,8 +21,8 @@ from typing import Iterable, List, Sequence, Tuple, Union
 from repro.errors import StorageError
 from repro.rdf.ntriples import _parse_term  # reuse the strict term grammar
 from repro.rdf.terms import IRI, Literal, TermLike, Triple
-from repro.sparql.ast import SelectQuery
-from repro.relstore.sql_compiler import TRIPLE_TABLE_NAME, compile_select
+from repro.sparql.ast import SelectQuery, compare_terms
+from repro.relstore.sql_compiler import FILTER_FUNCTION_NAME, TRIPLE_TABLE_NAME, compile_select
 
 __all__ = ["SQLiteBackend"]
 
@@ -54,6 +54,16 @@ def _load_value(value: str) -> TermLike:
     return IRI(value)
 
 
+def _sql_filter(operator: str, left: str, right: str) -> int:
+    """The FILTER comparison as a SQL function over stored surface forms.
+
+    Decodes both operands back to terms and delegates to the same
+    :func:`repro.sparql.ast.compare_terms` the Python engines use, so typed
+    literals compare by value in SQL exactly as they do everywhere else.
+    """
+    return int(compare_terms(operator, _load_value(left), _load_value(right)))
+
+
 class SQLiteBackend:
     """A thin SQLite wrapper exposing bulk load, insert, and SELECT execution."""
 
@@ -64,6 +74,7 @@ class SQLiteBackend:
         except sqlite3.Error as exc:  # pragma: no cover - environment dependent
             raise StorageError(f"could not open SQLite database at {self._path!r}: {exc}") from exc
         self._connection.executescript(_SCHEMA)
+        self._connection.create_function(FILTER_FUNCTION_NAME, 3, _sql_filter, deterministic=True)
         self._connection.commit()
 
     # ------------------------------------------------------------------ #

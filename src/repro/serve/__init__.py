@@ -4,10 +4,23 @@ This package is the serving substrate in front of the paper's dual-store
 structure.  :class:`QueryService` fronts a loaded
 :class:`~repro.core.dualstore.DualStore` and serves single queries or whole
 workload batches with plan caching, generation-validated result caching,
-within-batch deduplication, and a thread pool over the read-only stores.  See
-``docs/architecture.md`` for the cache-invalidation contract.
+within-batch deduplication, and a thread pool over the read-only stores.
+:mod:`repro.serve.adaptive` adds opt-in online adaptive tuning: a sliding
+window of served complex subqueries plus a tuning daemon that re-places
+partitions epoch by epoch while serving continues.  See
+``docs/architecture.md`` (§3 for the cache-invalidation contract, §6 for the
+adaptive subsystem).
 """
 
+from repro.serve.adaptive import (
+    AdaptiveConfig,
+    AdaptiveMetrics,
+    EpochReport,
+    ReadWriteLock,
+    TuningDaemon,
+    WindowEntry,
+    WorkloadWindow,
+)
 from repro.serve.metrics import LatencyDigest, QueueGauge, ServiceCounters, ServiceMetrics
 from repro.serve.plan_cache import PlanCache, QueryPlan
 from repro.serve.result_cache import CachedExecution, ResultCache
@@ -17,6 +30,13 @@ __all__ = [
     "QueryService",
     "ServiceConfig",
     "ServedBatch",
+    "AdaptiveConfig",
+    "AdaptiveMetrics",
+    "EpochReport",
+    "ReadWriteLock",
+    "TuningDaemon",
+    "WindowEntry",
+    "WorkloadWindow",
     "PlanCache",
     "QueryPlan",
     "ResultCache",

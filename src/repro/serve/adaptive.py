@@ -1,0 +1,518 @@
+"""Online adaptive tuning: re-place partitions while the service keeps serving.
+
+The paper's headline property is *incremental* tuning — DOTIL keeps
+re-learning which triple partitions deserve the bounded graph store as the
+workload drifts.  Until now the tuner only ran in offline experiment scripts;
+a :class:`~repro.serve.service.QueryService` served whatever placement it was
+given, forever.  This module closes the loop:
+
+* :class:`WorkloadWindow` — a bounded sliding window of the complex
+  subqueries recently *served* (harvested per submission, cache hits
+  included, so the window reflects traffic frequency, not just cache
+  misses).  As the template mix drifts, old-phase entries age out.
+* :class:`TuningDaemon` — runs epoch-based tuning: snapshot the window, hand
+  it to any :class:`~repro.core.tuner.BaseTuner` (DOTIL by default), and let
+  the tuner mutate the dual store — all inside
+  :meth:`DualStore.batch_mutations <repro.core.dualstore.DualStore.batch_mutations>`,
+  so an epoch of k transfers/evictions bumps the generation **once** and the
+  service's result cache is emptied once, not k times.
+* :class:`ReadWriteLock` — the concurrency seam.  Store mutations must never
+  run concurrently with query execution (the
+  :class:`~repro.core.processor.QueryProcessor` contract), so serves hold the
+  gate shared and a tuning epoch holds it exclusively.  In-flight serves
+  drain, the epoch applies, serving resumes against the new placement.
+
+Epochs can be driven three ways: explicitly (:meth:`TuningDaemon.run_epoch`
+/ ``QueryService.tune_now()``), automatically every
+:attr:`AdaptiveConfig.epoch_queries` harvested submissions (deterministic —
+used by the drift benchmark), or on a wall-clock interval from a background
+thread (:meth:`TuningDaemon.start`).
+
+Accounting stays honest: per epoch the daemon records the moves applied, the
+modelled import/evict seconds (symmetric — see
+:meth:`DualStore.evict_partition`), the modelled TTI of the window before
+and after the epoch (so convergence after a drift is measurable), and the
+result-cache invalidations *avoided* by batching (k moves − 1 fire).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.core.dualstore import DualStore
+from repro.core.identifier import ComplexSubquery
+from repro.core.tuner import BaseTuner, Dotil, TuningReport
+from repro.sparql.ast import SelectQuery
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveMetrics",
+    "EpochReport",
+    "ReadWriteLock",
+    "TuningDaemon",
+    "WindowEntry",
+    "WorkloadWindow",
+]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Readers (query serves) share the lock; a writer (tuning epoch, or any
+    mutation routed through the service) is exclusive.  Writer preference —
+    arriving writers block *new* readers — keeps an epoch from starving under
+    steady traffic.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            except BaseException:
+                # An interrupt mid-wait (e.g. KeyboardInterrupt) must not
+                # leave a phantom waiting writer behind — readers spin on the
+                # counter forever and the whole service wedges.
+                self._writers_waiting -= 1
+                self._condition.notify_all()
+                raise
+            self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+@dataclass(frozen=True)
+class WindowEntry:
+    """One harvested submission: the plan key, the full query, and its
+    complex subquery (always present — simple queries are not harvested)."""
+
+    key: str
+    query: SelectQuery
+    complex_subquery: ComplexSubquery
+
+
+class WorkloadWindow:
+    """A bounded, thread-safe sliding window of served complex subqueries.
+
+    One entry per *submission* (cache hits and within-batch duplicates
+    included): the tuner's reward amortisation and the baselines' frequency
+    ranking both weigh partitions by how often traffic touches them, and a
+    cache absorbing a hot template must not hide that heat from the tuner.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("WorkloadWindow capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: Deque[WindowEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._pending = 0
+        self.harvested = 0
+
+    def record(self, key: str, query: SelectQuery, complex_subquery: ComplexSubquery) -> None:
+        with self._lock:
+            self._entries.append(WindowEntry(key, query, complex_subquery))
+            self._pending += 1
+            self.harvested += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def pending(self) -> int:
+        """Submissions harvested since the last epoch (the auto-epoch trigger)."""
+        with self._lock:
+            return self._pending
+
+    def snapshot(self) -> List[WindowEntry]:
+        """The current window contents, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def mark_epoch(self) -> List[WindowEntry]:
+        """Snapshot the window and reset the pending-submission trigger."""
+        with self._lock:
+            self._pending = 0
+            return list(self._entries)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tunables of the online adaptive tuning subsystem.
+
+    Attributes
+    ----------
+    window_size:
+        Sliding-window capacity in harvested submissions.  Size it to roughly
+        one traffic epoch so a drifted mix displaces the old phase within an
+        epoch or two.
+    epoch_queries:
+        Run a tuning epoch automatically once this many new submissions have
+        been harvested (checked at the end of each serve).  ``0`` disables
+        auto epochs — drive them via ``QueryService.tune_now()`` or the
+        background thread instead.
+    tuner_factory:
+        Builds the tuner from the dual store; defaults to DOTIL with the
+        store's own config.  Any :class:`~repro.core.tuner.BaseTuner` works —
+        the daemon only calls ``tune()``.
+    measure_tti:
+        Measure the modelled TTI of the window's distinct queries before and
+        after each epoch that applied moves (two extra evaluation passes per
+        such epoch).  This is the convergence signal the drift benchmark
+        plots; disable it to make epochs cheaper.  The measurement passes
+        execute through the stores, so *physical* observability — e.g. the
+        sharded backend's per-shard probe counts behind
+        ``QueryService.shard_metrics()`` — includes them; service-level
+        counters (``executions`` etc.) do not.  Disable for strictly
+        traffic-only physical metrics.
+    """
+
+    window_size: int = 256
+    epoch_queries: int = 64
+    tuner_factory: Callable[[DualStore], BaseTuner] = Dotil
+    measure_tti: bool = True
+
+
+@dataclass
+class EpochReport:
+    """What one tuning epoch observed and did."""
+
+    index: int
+    window_size: int
+    report: Optional[TuningReport]
+    generation_before: int
+    generation_after: int
+    tti_before: Optional[float] = None
+    tti_after: Optional[float] = None
+
+    @property
+    def moves(self) -> int:
+        return self.report.moves if self.report is not None else 0
+
+    @property
+    def invalidations(self) -> int:
+        """Generation bumps (= result-cache invalidations) this epoch caused.
+
+        At most 1 by construction — the whole epoch runs inside
+        ``DualStore.batch_mutations``."""
+        return self.generation_after - self.generation_before
+
+    @property
+    def tti_delta(self) -> Optional[float]:
+        """Modelled window-TTI improvement (positive = epoch helped)."""
+        if self.tti_before is None or self.tti_after is None:
+            return None
+        return self.tti_before - self.tti_after
+
+
+@dataclass
+class AdaptiveMetrics:
+    """Cumulative epoch accounting, exposed as
+    ``QueryService.adaptive_metrics()``."""
+
+    epochs: int = 0
+    epochs_with_moves: int = 0
+    epoch_failures: int = 0
+    transfers_applied: int = 0
+    evictions_applied: int = 0
+    import_seconds: float = 0.0
+    evict_seconds: float = 0.0
+    invalidations_avoided: int = 0
+    tti_delta_total: float = 0.0
+    last_window_tti_before: float = 0.0
+    last_window_tti_after: float = 0.0
+
+    @property
+    def moves_applied(self) -> int:
+        return self.transfers_applied + self.evictions_applied
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "epochs": float(self.epochs),
+            "epochs_with_moves": float(self.epochs_with_moves),
+            "epoch_failures": float(self.epoch_failures),
+            "moves_applied": float(self.moves_applied),
+            "transfers_applied": float(self.transfers_applied),
+            "evictions_applied": float(self.evictions_applied),
+            "import_seconds": self.import_seconds,
+            "evict_seconds": self.evict_seconds,
+            "invalidations_avoided": float(self.invalidations_avoided),
+            "tti_delta_total": self.tti_delta_total,
+            "last_window_tti_before": self.last_window_tti_before,
+            "last_window_tti_after": self.last_window_tti_after,
+        }
+
+
+class TuningDaemon:
+    """Runs epoch-based tuning against the live workload window.
+
+    The daemon owns no threads until :meth:`start` is called; `run_epoch` is
+    synchronous and safe to call from any thread (epochs are serialized).
+    Every epoch:
+
+    1. takes the write side of the gate (in-flight serves drain, new serves
+       and the store's caches wait),
+    2. snapshots the window and resets the auto-epoch trigger,
+    3. optionally prices the window's distinct queries (TTI before),
+    4. runs ``tuner.tune(window)`` inside ``dual.batch_mutations()`` — the
+       tuner transfers/evicts freely, physical effects are immediate, but the
+       generation bumps coalesce into **one** (one result-cache invalidation
+       per epoch, however many moves were applied),
+    5. re-prices the window if moves were applied (TTI after), and
+    6. folds the outcome into :class:`AdaptiveMetrics`.
+    """
+
+    def __init__(
+        self,
+        dual: DualStore,
+        tuner: BaseTuner,
+        window: WorkloadWindow,
+        gate: ReadWriteLock,
+        config: AdaptiveConfig,
+    ):
+        self.dual = dual
+        self.tuner = tuner
+        self.window = window
+        self.gate = gate
+        self.config = config
+        self.metrics = AdaptiveMetrics()
+        self.last_epoch: Optional[EpochReport] = None
+        #: Last exception a *background* epoch raised (diagnostics; the
+        #: explicit run_epoch path propagates instead).
+        self.last_error: Optional[Exception] = None
+        self._epoch_lock = threading.Lock()
+        # Guards metrics/last_epoch for observers: _fold mutates field by
+        # field, and a reader overlapping it would see a torn snapshot that
+        # breaks the moves-vs-invalidations reconciliation mid-update.
+        self._metrics_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Epochs
+    # ------------------------------------------------------------------ #
+    def run_epoch(self) -> EpochReport:
+        """Run one tuning epoch now (blocking until in-flight serves drain)."""
+        with self._epoch_lock:
+            return self._run_epoch_locked()
+
+    def _run_epoch_locked(self) -> EpochReport:
+        with self.gate.write_locked():
+            entries = self.window.mark_epoch()
+            generation_before = self.dual.generation
+            epoch = EpochReport(
+                index=self.metrics.epochs,
+                window_size=len(entries),
+                report=None,
+                generation_before=generation_before,
+                generation_after=generation_before,
+            )
+            if not entries:
+                with self._metrics_lock:
+                    self.metrics.epochs += 1
+                    self.last_epoch = epoch
+                return epoch
+
+            if self.config.measure_tti:
+                epoch.tti_before = self._window_tti(entries)
+
+            log_mark = len(self.dual.transfer_log)
+            try:
+                with self.dual.batch_mutations():
+                    epoch.report = self.tuner.tune([e.complex_subquery for e in entries])
+            except BaseException:
+                # The tuner may have applied moves before failing — the batch
+                # context already fired their (single) invalidation, so the
+                # epoch accounting must reflect them or the books stop
+                # reconciling (invalidations_avoided == moves − fires).
+                epoch.report = self._partial_report(log_mark)
+                epoch.generation_after = self.dual.generation
+                self._fold(epoch)
+                raise
+            epoch.generation_after = self.dual.generation
+
+            if self.config.measure_tti:
+                # Placement unchanged ⇒ modelled costs unchanged: skip the
+                # second evaluation pass instead of re-deriving the same sum.
+                epoch.tti_after = (
+                    self._window_tti(entries) if epoch.moves else epoch.tti_before
+                )
+
+        self._fold(epoch)
+        return epoch
+
+    def maybe_run_epoch(self) -> Optional[EpochReport]:
+        """Run an epoch if the auto-epoch submission threshold was reached.
+
+        The threshold is re-checked under the epoch lock: concurrent serves
+        may both see it crossed, but only the first runs an epoch — the
+        second finds the trigger reset and backs off instead of re-tuning an
+        unchanged window (and re-invalidating the just-rewarmed cache).
+        """
+        threshold = self.config.epoch_queries
+        if threshold <= 0 or self.window.pending < threshold:
+            return None
+        with self._epoch_lock:
+            if self.window.pending < threshold:
+                return None
+            return self._run_epoch_locked()
+
+    def _partial_report(self, log_mark: int) -> TuningReport:
+        """What a *failed* ``tune()`` physically did, reconstructed from the
+        dual store's transfer log (entries appended since ``log_mark``).
+
+        Seconds are re-priced from the current partition sizes — identical to
+        what the aborted calls returned, except under a graph-store throttle
+        (close enough for failure-path accounting).
+        """
+        report = TuningReport()
+        sizes = self.dual.partition_sizes()
+        model = self.dual.cost_model
+        for kind, predicate in self.dual.transfer_log[log_mark:]:
+            size = sizes.get(predicate, 0)
+            if kind == "transfer":
+                report.transferred.append(predicate)
+                report.import_seconds += model.graph_import_seconds(size)
+            else:
+                report.evicted.append(predicate)
+                report.evict_seconds += model.graph_evict_seconds(size)
+        return report
+
+    def _window_tti(self, entries: List[WindowEntry]) -> float:
+        """Modelled TTI of the window under the *current* placement.
+
+        Distinct queries are priced once (straight through the processor —
+        the serving caches must not mask a placement change) and weighted by
+        their multiplicity in the window, so the sum is what serving the
+        window's traffic would cost right now.
+        """
+        priced: Dict[str, float] = {}
+        total = 0.0
+        for entry in entries:
+            seconds = priced.get(entry.key)
+            if seconds is None:
+                processed = self.dual.processor.process(entry.query, entry.complex_subquery)
+                seconds = priced[entry.key] = processed.record.seconds
+            total += seconds
+        return total
+
+    def _fold(self, epoch: EpochReport) -> None:
+        with self._metrics_lock:
+            metrics = self.metrics
+            metrics.epochs += 1
+            report = epoch.report
+            if report is not None:
+                metrics.transfers_applied += len(report.transferred)
+                metrics.evictions_applied += len(report.evicted)
+                metrics.import_seconds += report.import_seconds
+                metrics.evict_seconds += report.evict_seconds
+                if epoch.moves:
+                    metrics.epochs_with_moves += 1
+                    # Unbatched, every move would have fired the invalidation
+                    # hook; batched, the epoch fired it epoch.invalidations
+                    # (≤ 1) times.
+                    metrics.invalidations_avoided += epoch.moves - epoch.invalidations
+            if epoch.tti_delta is not None:
+                metrics.tti_delta_total += epoch.tti_delta
+                metrics.last_window_tti_before = epoch.tti_before or 0.0
+                metrics.last_window_tti_after = epoch.tti_after or 0.0
+            self.last_epoch = epoch
+
+    def metrics_as_dict(self) -> Dict[str, float]:
+        """A consistent snapshot of the cumulative epoch metrics."""
+        with self._metrics_lock:
+            return self.metrics.as_dict()
+
+    # ------------------------------------------------------------------ #
+    # Background operation
+    # ------------------------------------------------------------------ #
+    def start(self, interval_seconds: float) -> None:
+        """Run epochs from a background thread every ``interval_seconds``.
+
+        The thread skips an interval when nothing new was harvested, so an
+        idle service does not churn the tuner.  Idempotent stop via
+        :meth:`stop` (also called by ``QueryService.close``).
+        """
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if self._thread is not None:
+            raise RuntimeError("the tuning daemon is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, args=(interval_seconds,), name="repro-tuning-daemon", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self, interval_seconds: float) -> None:
+        while not self._stop.wait(interval_seconds):
+            if not self.window.pending:
+                continue
+            try:
+                self.run_epoch()
+            except Exception as exc:
+                # One failing epoch (a buggy custom tuner, a transient error
+                # in TTI pricing) must not silently kill adaptation for the
+                # rest of the service's life: record it and retry next tick.
+                # The explicit run_epoch()/tune_now() path still propagates.
+                with self._metrics_lock:
+                    self.last_error = exc
+                    self.metrics.epoch_failures += 1
+
+    def stop(self) -> None:
+        # Captured locally so concurrent stop() calls (close() racing a
+        # direct stop()) both join the same thread instead of one of them
+        # dereferencing None; a double join is harmless.
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None

@@ -15,7 +15,7 @@ Everything is aggregated under one :class:`ServiceMetrics` object exposed as
 from __future__ import annotations
 
 import math
-from bisect import insort
+import random
 from dataclasses import dataclass, fields
 from typing import Dict, List
 
@@ -47,11 +47,23 @@ class ServiceCounters:
         batch (batch deduplication); counted as neither hit nor miss.
     invalidations:
         Result-cache entries dropped because the dual store mutated.
+    invalidation_events:
+        Times the result cache was emptied (one per invalidation-hook fire,
+        however many entries each fire dropped).  A tuning epoch applying k
+        moves through :meth:`DualStore.batch_mutations` contributes exactly 1.
     stale_rejections:
         Result-cache entries rejected at lookup time by the generation check
         (the belt-and-braces path; normally the invalidation hook already
-        emptied the cache).
+        emptied the cache).  **Mirrored gauge**: the service copies the
+        cache's own cumulative counter by assignment, so every snapshot
+        already carries the full total — see :attr:`MIRRORED_GAUGES`.
     """
+
+    #: Fields the service mirrors *by assignment* from another cumulative
+    #: counter instead of incrementing itself.  Two snapshots of one service
+    #: both carry the full running total, so ``merge``/``add`` must take the
+    #: max of these fields — summing would double-count every shared event.
+    MIRRORED_GAUGES = frozenset({"stale_rejections"})
 
     queries_served: int = 0
     batches_served: int = 0
@@ -62,19 +74,25 @@ class ServiceCounters:
     result_cache_misses: int = 0
     duplicates_coalesced: int = 0
     invalidations: int = 0
+    invalidation_events: int = 0
     stale_rejections: int = 0
 
     def merge(self, other: "ServiceCounters") -> "ServiceCounters":
-        """Return a new counter object with both contributions summed."""
+        """Return a new counter object with both contributions combined
+        (summed, except the :attr:`MIRRORED_GAUGES`, which take the max)."""
         merged = ServiceCounters()
-        for f in fields(ServiceCounters):
-            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        merged.add(self)
+        merged.add(other)
         return merged
 
     def add(self, other: "ServiceCounters") -> None:
         """Accumulate ``other`` into this counter object in place."""
         for f in fields(ServiceCounters):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name in self.MIRRORED_GAUGES:
+                setattr(self, f.name, max(mine, theirs))
+            else:
+                setattr(self, f.name, mine + theirs)
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: int(getattr(self, f.name)) for f in fields(ServiceCounters)}
@@ -97,25 +115,54 @@ class ServiceCounters:
 
 
 class LatencyDigest:
-    """Latency samples with exact percentile queries.
+    """Latency samples with bounded memory and O(1) observation.
 
-    Samples are kept sorted (insertion via ``bisect``), so ``percentile`` is
-    O(1) and ``observe`` is O(n) in the worst case — fine at benchmark scale;
-    a production deployment would swap in a t-digest without changing the
-    interface.
+    ``count``, ``total``, and ``mean`` are always exact — they are plain
+    scalar accumulators.  Percentiles are computed from a bounded sample
+    reservoir: up to ``capacity`` observations every sample is retained, so
+    percentiles are **exact** under the cap; beyond it, reservoir sampling
+    (Algorithm R, seeded so two identically-fed digests agree) keeps a
+    uniform sample and percentiles become estimates.  The previous
+    implementation kept every sample sorted (`insort` under the service's
+    metrics lock), which both leaked memory in a long-running service and
+    made the hot path O(n) per observation.
     """
 
-    def __init__(self) -> None:
-        self._sorted: List[float] = []
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("LatencyDigest capacity must be at least 1")
+        self._capacity = capacity
+        self._samples: List[float] = []
+        self._count = 0
         self._total = 0.0
+        self._rng = random.Random(0x5EED)
 
     def observe(self, seconds: float) -> None:
-        insort(self._sorted, seconds)
+        self._count += 1
         self._total += seconds
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+        else:
+            # Algorithm R: keep each of the count observations in the
+            # reservoir with probability capacity/count.
+            slot = self._rng.randrange(self._count)
+            if slot < self._capacity:
+                self._samples[slot] = seconds
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def sample_size(self) -> int:
+        """Samples currently retained for percentile estimation (≤ capacity)."""
+        return len(self._samples)
 
     @property
     def count(self) -> int:
-        return len(self._sorted)
+        return self._count
 
     @property
     def total(self) -> float:
@@ -123,16 +170,21 @@ class LatencyDigest:
 
     @property
     def mean(self) -> float:
-        return self._total / len(self._sorted) if self._sorted else 0.0
+        return self._total / self._count if self._count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (q in [0, 100]) via nearest-rank."""
-        if not self._sorted:
-            return 0.0
+        """The ``q``-th percentile (q in [0, 100]) via nearest-rank over the
+        retained samples (exact while ``count <= capacity``)."""
+        return self._rank_in(sorted(self._samples), q)
+
+    @staticmethod
+    def _rank_in(ordered: List[float], q: float) -> float:
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
-        rank = max(1, math.ceil(q / 100.0 * len(self._sorted)))
-        return self._sorted[min(rank, len(self._sorted)) - 1]
+        if not ordered:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
 
     @property
     def p50(self) -> float:
@@ -143,11 +195,12 @@ class LatencyDigest:
         return self.percentile(95.0)
 
     def as_dict(self) -> Dict[str, float]:
+        ordered = sorted(self._samples)  # one sort serves both percentiles
         return {
             "count": float(self.count),
             "mean": self.mean,
-            "p50": self.p50,
-            "p95": self.p95,
+            "p50": self._rank_in(ordered, 50.0),
+            "p95": self._rank_in(ordered, 95.0),
             "total": self.total,
         }
 

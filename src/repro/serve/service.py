@@ -23,7 +23,13 @@ on top, without changing any store or tuner semantics:
   latency, and queue depth — plus per-shard probe/queue-depth metrics
   (:meth:`QueryService.shard_metrics`) when the dual store's relational
   master copy is a :class:`~repro.relstore.sharded.ShardedRelationalStore`
-  (the service then also owns a dedicated scatter pool for shard probes).
+  (the service then also owns a dedicated scatter pool for shard probes);
+* opt-in **online adaptive tuning** (:mod:`repro.serve.adaptive`, via
+  ``ServiceConfig.adaptive``): served complex subqueries are harvested into
+  a sliding :class:`~repro.serve.adaptive.WorkloadWindow` and a
+  :class:`~repro.serve.adaptive.TuningDaemon` re-tunes the physical design
+  epoch by epoch — exclusive with in-flight serves through a read/write
+  gate, each epoch's moves batched into a single result-cache invalidation.
 
 Accounting is preserved: every submitted query yields exactly one
 :class:`~repro.core.metrics.QueryRecord`, and cached/deduplicated records keep
@@ -37,6 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
@@ -49,6 +56,13 @@ from repro.relstore.sharded import ShardedRelationalStore
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import canonical_query_text, parse_query
 
+from repro.serve.adaptive import (
+    AdaptiveConfig,
+    EpochReport,
+    ReadWriteLock,
+    TuningDaemon,
+    WorkloadWindow,
+)
 from repro.serve.lru import LRUCache
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.plan_cache import PlanCache, QueryPlan
@@ -100,12 +114,21 @@ class ServiceConfig:
     cache_results:
         Disable to keep only the plan cache (useful for measuring the two
         caches separately).
+    adaptive:
+        Opt-in online adaptive tuning (:mod:`repro.serve.adaptive`).  When
+        set, the service harvests served complex subqueries into a sliding
+        :class:`~repro.serve.adaptive.WorkloadWindow` and owns a
+        :class:`~repro.serve.adaptive.TuningDaemon` that re-tunes the dual
+        store's physical design epoch by epoch, concurrently-safely with
+        in-flight serves.  ``None`` (the default) serves a frozen placement,
+        exactly as before.
     """
 
     plan_cache_size: int = 1024
     result_cache_size: int = 4096
     max_workers: int = 4
     cache_results: bool = True
+    adaptive: Optional[AdaptiveConfig] = None
 
 
 @dataclass
@@ -175,6 +198,21 @@ class QueryService:
         self._scatter_pool_denied = False
         self._pool_lock = threading.Lock()
         self._closed = False
+        #: The online adaptive tuning subsystem (``None`` unless opted in via
+        #: ``ServiceConfig.adaptive``).  The gate serializes tuning epochs
+        #: (exclusive) against in-flight serves (shared).
+        self.adaptive: Optional[TuningDaemon] = None
+        self._gate: Optional[ReadWriteLock] = None
+        if self.config.adaptive is not None:
+            adaptive = self.config.adaptive
+            self._gate = ReadWriteLock()
+            self.adaptive = TuningDaemon(
+                dual=dual,
+                tuner=adaptive.tuner_factory(dual),
+                window=WorkloadWindow(adaptive.window_size),
+                gate=self._gate,
+                config=adaptive,
+            )
         dual.add_invalidation_hook(self._on_mutation)
 
     # ------------------------------------------------------------------ #
@@ -190,6 +228,11 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self.adaptive is not None:
+            # Stop the daemon first: a background epoch firing after the
+            # hook is detached would mutate the store without invalidating
+            # anything this service still holds.
+            self.adaptive.stop()
         self.dual.remove_invalidation_hook(self._on_mutation)
         with self._pool_lock:
             # Query pool first: waiting for it drains in-flight serves whose
@@ -269,26 +312,36 @@ class QueryService:
             # submissions (see tests/test_serve.py::TestRunBatchEdgeCases).
             return ServedBatch()
         plans = [self.resolve(query) for query in queries]
-        generation = self.dual.generation
 
-        # First-appearance index per distinct key (within-batch dedup).
-        primaries: Dict[str, int] = {}
-        for index, plan in enumerate(plans):
-            primaries.setdefault(plan.key, index)
+        # With adaptive tuning on, serves hold the gate shared so a tuning
+        # epoch (exclusive) can never mutate the store between the generation
+        # sample and the executions it tags.
+        if self._gate is not None:
+            self._gate.acquire_read()
+        try:
+            generation = self.dual.generation
 
-        hits: Dict[str, CachedExecution] = {}
-        to_execute: List[QueryPlan] = []
-        for key, index in primaries.items():
-            entry = self.result_cache.get(key, generation) if self.config.cache_results else None
-            if entry is not None:
-                hits[key] = entry
-            else:
-                to_execute.append(plans[index])
+            # First-appearance index per distinct key (within-batch dedup).
+            primaries: Dict[str, int] = {}
+            for index, plan in enumerate(plans):
+                primaries.setdefault(plan.key, index)
 
-        executed: Dict[str, ProcessedQuery] = {}
-        if to_execute:
-            for plan, processed in zip(to_execute, self._execute_all(to_execute)):
-                executed[plan.key] = processed
+            hits: Dict[str, CachedExecution] = {}
+            to_execute: List[QueryPlan] = []
+            for key, index in primaries.items():
+                entry = self.result_cache.get(key, generation) if self.config.cache_results else None
+                if entry is not None:
+                    hits[key] = entry
+                else:
+                    to_execute.append(plans[index])
+
+            executed: Dict[str, ProcessedQuery] = {}
+            if to_execute:
+                for plan, processed in zip(to_execute, self._execute_all(to_execute)):
+                    executed[plan.key] = processed
+        finally:
+            if self._gate is not None:
+                self._gate.release_read()
 
         # Assemble per-submission entries outside the metrics lock: the
         # result/record copies are O(total bindings) and must not serialize
@@ -329,6 +382,18 @@ class QueryService:
                 self.metrics.modelled_latency.observe(entry.record.seconds)
             if count_batch:
                 counters.batches_served += 1
+
+        if self.adaptive is not None:
+            # Harvest per submission (hits and duplicates included): the
+            # tuner weighs partitions by traffic frequency, and a cache
+            # absorbing a hot template must not hide its heat.
+            window = self.adaptive.window
+            for plan in plans:
+                if plan.complex_subquery is not None:
+                    window.record(plan.key, plan.query, plan.complex_subquery)
+            # Outside the read gate by now, so an auto epoch can take the
+            # write side without deadlocking on our own serve.
+            self.adaptive.maybe_run_epoch()
         return ServedBatch(executions=entries, cache_hits=hit_count, coalesced=coalesced_count)
 
     def _execute_all(self, plans: List[QueryPlan]) -> List[ProcessedQuery]:
@@ -372,21 +437,57 @@ class QueryService:
         return processed
 
     # ------------------------------------------------------------------ #
-    # Mutations (delegated; the dual store's hooks invalidate the cache)
+    # Mutations (delegated; the dual store's hooks invalidate the cache).
+    # With adaptive tuning on, each delegation takes the write side of the
+    # gate so it is exclusive with in-flight serves and tuning epochs.
     # ------------------------------------------------------------------ #
     def insert(self, triples: Iterable[Triple]) -> float:
-        return self.dual.insert(triples)
+        with self._write_gated():
+            return self.dual.insert(triples)
 
     def transfer_partition(self, predicate: IRI) -> float:
-        return self.dual.transfer_partition(predicate)
+        """Replicate one partition into the graph store; returns modelled
+        import seconds."""
+        with self._write_gated():
+            return self.dual.transfer_partition(predicate)
 
-    def evict_partition(self, predicate: IRI) -> int:
-        return self.dual.evict_partition(predicate)
+    def evict_partition(self, predicate: IRI) -> float:
+        """Remove one partition from the graph store; returns modelled
+        eviction seconds (symmetric with :meth:`transfer_partition`)."""
+        with self._write_gated():
+            return self.dual.evict_partition(predicate)
+
+    @contextmanager
+    def _write_gated(self):
+        if self._gate is None:
+            yield
+            return
+        with self._gate.write_locked():
+            yield
 
     def _on_mutation(self, generation: int) -> None:
         dropped = self.result_cache.invalidate_all()
         with self._metrics_lock:
             self.metrics.counters.invalidations += dropped
+            self.metrics.counters.invalidation_events += 1
+
+    # ------------------------------------------------------------------ #
+    # Online adaptive tuning (ServiceConfig.adaptive)
+    # ------------------------------------------------------------------ #
+    def tune_now(self) -> EpochReport:
+        """Run one tuning epoch synchronously (adaptive mode only)."""
+        if self.adaptive is None:
+            raise RuntimeError(
+                "adaptive tuning is not enabled; construct the service with "
+                "ServiceConfig(adaptive=AdaptiveConfig(...))"
+            )
+        return self.adaptive.run_epoch()
+
+    def adaptive_metrics(self) -> Optional[Dict[str, float]]:
+        """Cumulative epoch metrics, or ``None`` when adaptive tuning is off."""
+        if self.adaptive is None:
+            return None
+        return self.adaptive.metrics_as_dict()
 
     # ------------------------------------------------------------------ #
     # Shard observability (sharded relational backends only)

@@ -22,12 +22,48 @@ from typing import Dict, FrozenSet, Iterator, Optional, Sequence, Tuple
 from repro.errors import ParseError
 from repro.rdf.terms import IRI, Literal, TermLike, Variable
 
-__all__ = ["TriplePattern", "Filter", "SelectQuery", "Binding", "COMPARISON_OPERATORS"]
+__all__ = [
+    "TriplePattern",
+    "Filter",
+    "SelectQuery",
+    "Binding",
+    "COMPARISON_OPERATORS",
+    "compare_terms",
+]
 
 #: A solution mapping from variable name to a concrete term.
 Binding = Dict[str, TermLike]
 
 COMPARISON_OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def compare_terms(operator: str, left: TermLike, right: TermLike) -> bool:
+    """Evaluate one FILTER comparison between two concrete terms.
+
+    This is the single source of the subset's comparison semantics: typed
+    literals coerce to their Python values (so ``"30"^^xsd:integer`` compares
+    numerically, not lexicographically), everything else compares on its
+    string form, and an incomparable pair (``TypeError``) is ``False``.  Both
+    the Python executors (via :meth:`Filter.evaluate`) and the SQLite
+    backend's filter function delegate here, which is what keeps the SQL path
+    answer-identical to the work-accounted engines.
+    """
+    left_value = left.to_python() if isinstance(left, Literal) else str(left)
+    right_value = right.to_python() if isinstance(right, Literal) else str(right)
+    try:
+        if operator == "=":
+            return left_value == right_value
+        if operator == "!=":
+            return left_value != right_value
+        if operator == "<":
+            return left_value < right_value
+        if operator == "<=":
+            return left_value <= right_value
+        if operator == ">":
+            return left_value > right_value
+        return left_value >= right_value
+    except TypeError:
+        return False
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,22 +117,7 @@ class Filter:
         right = self._resolve(self.right, binding)
         if left is None or right is None:
             return False
-        left_value = left.to_python() if isinstance(left, Literal) else str(left)
-        right_value = right.to_python() if isinstance(right, Literal) else str(right)
-        try:
-            if self.operator == "=":
-                return left_value == right_value
-            if self.operator == "!=":
-                return left_value != right_value
-            if self.operator == "<":
-                return left_value < right_value
-            if self.operator == "<=":
-                return left_value <= right_value
-            if self.operator == ">":
-                return left_value > right_value
-            return left_value >= right_value
-        except TypeError:
-            return False
+        return compare_terms(self.operator, left, right)
 
     @staticmethod
     def _resolve(term: TermLike, binding: Binding) -> Optional[TermLike]:

@@ -1,0 +1,103 @@
+"""Differential suite: the SQLite path vs the ID-space execution engine.
+
+The SQL compiler + SQLiteBackend answer the same SPARQL subset as the
+work-accounted Python engines, but nothing guarded that parity since the
+PR 3 executor rewrite — and it matters: the stored surface forms are TEXT, so
+a carelessly compiled filter would compare ``"5"`` and ``"250"``
+lexicographically while the executors compare them numerically.  This suite
+pins answer-parity across *every* template family of all three synthetic
+datasets (YAGO, WatDiv, Bio2RDF), so any future divergence between the SQL
+path and the primary engine names the family that broke.
+
+(Only answers are compared: the SQLite path has no work counters, so there is
+nothing to differentiate on the accounting side.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    RelationalStore,
+    SQLiteBackend,
+    generate_bio2rdf,
+    generate_watdiv,
+    generate_yago,
+    bio2rdf_workload,
+    watdiv_workload,
+    yago_workload,
+)
+
+_DATASETS = {
+    "yago": lambda: (generate_yago(2500, seed=7), yago_workload),
+    "watdiv": lambda: (generate_watdiv(2500, seed=7), watdiv_workload),
+    "bio2rdf": lambda: (generate_bio2rdf(2500, seed=23), bio2rdf_workload),
+}
+
+
+def _row_fingerprint(rows):
+    """Order-insensitive fingerprint of a result-row multiset."""
+    return sorted(tuple(term.n3() for term in row) for row in rows)
+
+
+@pytest.fixture(scope="module", params=sorted(_DATASETS))
+def engines(request):
+    """(dataset name, per-family queries, loaded python store, loaded SQLite)."""
+    dataset, build_workload = _DATASETS[request.param]()
+    workload = build_workload(dataset)
+    by_family = {}
+    for entry in workload.queries:
+        by_family.setdefault(entry.family, []).append((entry.template, entry.query))
+
+    store = RelationalStore()
+    store.load(dataset.triples)
+    backend = SQLiteBackend()
+    backend.insert_triples(dataset.triples)
+    yield request.param, by_family, store, backend
+    backend.close()
+
+
+def test_sql_answers_match_the_idspace_engine_for_every_family(engines):
+    name, by_family, store, backend = engines
+    assert by_family, f"{name}: workload has no queries"
+    for family, entries in sorted(by_family.items()):
+        for template, query in entries:
+            columns, sql_rows = backend.execute_select(query)
+            result = store.execute(query)
+            assert columns == tuple(result.variables), (
+                f"{name}/{family}/{template}: projected columns diverged"
+            )
+            assert _row_fingerprint(sql_rows) == _row_fingerprint(result.rows()), (
+                f"{name}/{family}/{template}: SQL answers diverged from the ID-space engine"
+            )
+
+
+def test_sql_filter_comparison_is_typed_not_lexicographic():
+    """The regression the suite exists for: multi-digit numeric filters.
+
+    Stored as TEXT, ``"5" <= "250"`` is lexicographically *false*; the typed
+    comparison both Python engines use says *true*.  The SQLite path must
+    agree with the engines, not with the bytes.
+    """
+    from repro.rdf.terms import IRI, Literal, Triple
+    from repro.sparql import parse_query
+
+    subject_cheap = IRI("http://example.org/cheap")
+    subject_dear = IRI("http://example.org/dear")
+    price = IRI("http://example.org/price")
+    triples = [
+        Triple(subject_cheap, price, Literal.from_python(5)),
+        Triple(subject_dear, price, Literal.from_python(999)),
+    ]
+    query = parse_query(
+        "SELECT ?p WHERE { ?p <http://example.org/price> ?v . FILTER(?v <= 250) }"
+    )
+
+    store = RelationalStore()
+    store.load(triples)
+    with SQLiteBackend() as backend:
+        backend.insert_triples(triples)
+        _, sql_rows = backend.execute_select(query)
+    python_rows = store.execute(query).rows()
+    assert _row_fingerprint(sql_rows) == _row_fingerprint(python_rows)
+    assert _row_fingerprint(sql_rows) == [(subject_cheap.n3(),)]

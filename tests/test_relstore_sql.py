@@ -33,10 +33,14 @@ class TestSQLCompiler:
         compiled = compile_select(query)
         assert '"Eve"' in compiled.parameters[1]
 
-    def test_filters_are_compiled(self):
+    def test_filters_are_compiled_through_the_shared_comparison(self):
+        # Raw SQL text comparison over stored surface forms would be
+        # lexicographic; filters must route through the repro_filter function
+        # so typed literals compare by value (see test_differential_sql.py).
         query = parse_query("SELECT ?p WHERE { ?p y:age ?a . FILTER(?a != 3) }")
         compiled = compile_select(query)
-        assert "<>" in compiled.sql
+        assert "repro_filter(?, t0.o, ?) = 1" in compiled.sql
+        assert compiled.parameters[-2:] == ("!=", '"3"^^<http://www.w3.org/2001/XMLSchema#integer>')
 
     def test_filter_with_unbound_variable_raises(self):
         query = parse_query("SELECT ?p WHERE { ?p y:age ?a . FILTER(?b > 3) }")

@@ -1,0 +1,549 @@
+"""Tests for the online adaptive tuning subsystem (repro.serve.adaptive) and
+the batched-mutation machinery underneath it, plus regressions for the
+serve-metrics fixes that landed with it."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    AdaptiveConfig,
+    Dotil,
+    DotilConfig,
+    DualStore,
+    LRUTuner,
+    QueryService,
+    ServiceConfig,
+    generate_watdiv,
+    parse_query,
+    watdiv_workload,
+)
+from repro.rdf.namespace import WATDIV
+from repro.serve.adaptive import ReadWriteLock, WorkloadWindow
+from repro.serve.metrics import LatencyDigest, ServiceCounters
+
+TUNER_CONFIG = DotilConfig(r_bg=0.15, prob=1.0, gamma=0.7, lam=4.5)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_watdiv(target_triples=2500, seed=7)
+
+
+@pytest.fixture(scope="module")
+def family_mixes(dataset):
+    def mix(*families):
+        queries = []
+        for family in families:
+            queries.extend(watdiv_workload(dataset, family=family, seed=19).ordered())
+        return queries
+
+    return {"a": mix("linear", "star"), "b": mix("snowflake", "complex")}
+
+
+@pytest.fixture()
+def dual(dataset):
+    return DualStore(TUNER_CONFIG).load(dataset.triples)
+
+
+def adaptive_config(**overrides):
+    defaults = dict(
+        window_size=128,
+        epoch_queries=0,
+        tuner_factory=lambda dual: Dotil(dual, TUNER_CONFIG),
+    )
+    defaults.update(overrides)
+    return AdaptiveConfig(**defaults)
+
+
+# ---------------------------------------------------------------------- #
+# Batched mutations on the dual store
+# ---------------------------------------------------------------------- #
+def _smallest_partitions(dual, count):
+    """The `count` smallest partitions (they always fit the r_bg budget)."""
+    sizes = dual.partition_sizes()
+    return sorted(sizes, key=lambda p: (sizes[p], p.value))[:count]
+
+
+class TestBatchedMutations:
+    def test_apply_moves_bumps_generation_once(self, dual, dataset):
+        predicates = _smallest_partitions(dual, 4)
+        before = dual.generation
+        receipt = dual.apply_moves(transfers=predicates)
+        assert dual.generation == before + 1
+        assert receipt.transferred == predicates
+        assert receipt.moves == len(predicates)
+        assert receipt.import_seconds > 0.0 and receipt.evict_seconds == 0.0
+
+        before = dual.generation
+        receipt = dual.apply_moves(evictions=predicates[:2], transfers=[])
+        assert dual.generation == before + 1
+        assert receipt.evicted == predicates[:2]
+        assert receipt.evict_seconds > 0.0
+
+    def test_apply_moves_fires_hooks_once(self, dual):
+        fired = []
+        dual.add_invalidation_hook(fired.append)
+        predicates = _smallest_partitions(dual, 3)
+        dual.apply_moves(transfers=predicates)
+        assert fired == [dual.generation]
+
+    def test_apply_moves_evicts_before_transferring(self, dual):
+        sizes = dual.partition_sizes()
+        resident = _smallest_partitions(dual, 3)
+        incoming = resident.pop()
+        dual.apply_moves(transfers=resident)
+        # Clamp the budget so the incoming partition only fits if the batch
+        # frees room first: evictions must precede transfers.
+        dual.graph.storage_budget = dual.graph.used_capacity() + sizes[incoming] - 1
+        receipt = dual.apply_moves(transfers=[incoming], evictions=[resident[0]])
+        assert receipt.evicted == [resident[0]]
+        assert receipt.transferred == [incoming]
+
+    def test_batch_mutations_without_mutation_does_not_bump(self, dual):
+        before = dual.generation
+        with dual.batch_mutations():
+            pass
+        assert dual.generation == before
+
+    def test_batch_mutations_nests(self, dual):
+        predicates = _smallest_partitions(dual, 2)
+        before = dual.generation
+        with dual.batch_mutations():
+            with dual.batch_mutations():
+                dual.transfer_partition(predicates[0])
+            # The inner exit must not fire: still inside the outer batch.
+            assert dual.generation == before
+            dual.transfer_partition(predicates[1])
+        assert dual.generation == before + 1
+
+    def test_evict_returns_modelled_seconds_symmetric_with_transfer(self, dual):
+        predicate = _smallest_partitions(dual, 1)[0]
+        size = dual.partition_sizes()[predicate]
+        import_seconds = dual.transfer_partition(predicate)
+        evict_seconds = dual.evict_partition(predicate)
+        assert isinstance(evict_seconds, float)
+        assert import_seconds == dual.cost_model.graph_import_seconds(size)
+        assert evict_seconds == dual.cost_model.graph_evict_seconds(size)
+        assert 0.0 < evict_seconds < import_seconds
+
+    def test_service_delegations_return_modelled_seconds(self, dual):
+        predicate = _smallest_partitions(dual, 1)[0]
+        with QueryService(dual) as service:
+            imported = service.transfer_partition(predicate)
+            evicted = service.evict_partition(predicate)
+        assert isinstance(imported, float) and isinstance(evicted, float)
+        assert evicted == dual.cost_model.graph_evict_seconds(dual.partition_sizes()[predicate])
+
+
+# ---------------------------------------------------------------------- #
+# The workload window
+# ---------------------------------------------------------------------- #
+class TestWorkloadWindow:
+    @staticmethod
+    def _entry(dual, text):
+        query = parse_query(text)
+        return "key:" + text, query, dual.identify(query)
+
+    def test_slides_at_capacity(self, dual):
+        window = WorkloadWindow(capacity=3)
+        for index in range(5):
+            key, query, subquery = self._entry(
+                dual, f"SELECT ?u WHERE {{ ?u wsdbm:likes ?p{index} . ?p{index} wsdbm:hasGenre ?g . }}"
+            )
+            window.record(key, query, subquery)
+        assert len(window) == 3
+        assert window.harvested == 5
+        assert [e.key for e in window.snapshot()] == [
+            "key:" + f"SELECT ?u WHERE {{ ?u wsdbm:likes ?p{i} . ?p{i} wsdbm:hasGenre ?g . }}"
+            for i in (2, 3, 4)
+        ]
+
+    def test_mark_epoch_resets_pending_but_keeps_entries(self, dual):
+        window = WorkloadWindow(capacity=8)
+        key, query, subquery = self._entry(
+            dual, "SELECT ?u WHERE { ?u wsdbm:likes ?p . ?p wsdbm:hasGenre ?g . }"
+        )
+        window.record(key, query, subquery)
+        window.record(key, query, subquery)
+        assert window.pending == 2
+        entries = window.mark_epoch()
+        assert len(entries) == 2
+        assert window.pending == 0
+        assert len(window) == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            WorkloadWindow(capacity=0)
+
+
+# ---------------------------------------------------------------------- #
+# The tuning daemon through the service
+# ---------------------------------------------------------------------- #
+class TestAdaptiveService:
+    def test_plain_service_has_no_adaptive_subsystem(self, dual):
+        with QueryService(dual) as service:
+            assert service.adaptive is None
+            assert service.adaptive_metrics() is None
+            with pytest.raises(RuntimeError):
+                service.tune_now()
+
+    def test_serves_harvest_into_the_window_hits_included(self, dual, family_mixes):
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            batch = family_mixes["a"][:10]
+            service.run_batch(batch)
+            harvested = service.adaptive.window.harvested
+            assert harvested > 0
+            service.run_batch(batch)  # all result-cache hits
+            assert service.adaptive.window.harvested == 2 * harvested
+
+    def test_epoch_applies_moves_with_one_invalidation(self, dual, family_mixes):
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            service.run_batch(family_mixes["a"])
+            assert len(service.result_cache) > 0
+            generation = dual.generation
+            epoch = service.tune_now()
+            assert epoch.moves > 1
+            assert epoch.invalidations == 1
+            assert dual.generation == generation + 1
+            assert len(service.result_cache) == 0
+            assert service.metrics.counters.invalidation_events == 1
+            metrics = service.adaptive_metrics()
+            assert metrics["epochs"] == 1.0
+            assert metrics["invalidations_avoided"] == epoch.moves - 1
+
+    def test_epoch_on_empty_window_is_a_noop(self, dual):
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            epoch = service.tune_now()
+            assert epoch.window_size == 0
+            assert epoch.moves == 0
+            assert epoch.invalidations == 0
+            assert dual.generation == 1  # only the load bump
+
+    def test_epoch_without_moves_does_not_invalidate(self, dual, family_mixes):
+        # The LRU tuner converges on a stable desired set under a repeating
+        # mix: the second epoch applies no moves, so the generation (and the
+        # result cache) must be left alone.
+        config = adaptive_config(tuner_factory=LRUTuner)
+        with QueryService(dual, ServiceConfig(adaptive=config)) as service:
+            service.run_batch(family_mixes["a"])
+            first = service.tune_now()
+            assert first.moves > 0
+            service.run_batch(family_mixes["a"])
+            cached = len(service.result_cache)
+            assert cached > 0
+            second = service.tune_now()
+            assert second.moves == 0
+            assert second.invalidations == 0
+            assert len(service.result_cache) == cached
+
+    def test_served_answers_track_the_new_placement(self, dual, family_mixes, fingerprint):
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            batch = family_mixes["a"]
+            cold = service.run_batch(batch)
+            service.tune_now()
+            warm = service.run_batch(batch)
+            # Fresh executions (the epoch invalidated the cache), identical
+            # answers, and routing that matches the uncached store.
+            assert warm.cache_hits == 0
+            for before, after, query in zip(cold, warm, batch):
+                assert fingerprint(after.result) == fingerprint(before.result)
+                assert after.record.route == dual.run_query(query).record.route
+
+    def test_modelled_tti_delta_is_measured(self, dual, family_mixes):
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            service.run_batch(family_mixes["a"])
+            epoch = service.tune_now()
+            assert epoch.tti_before is not None and epoch.tti_after is not None
+            assert epoch.tti_delta == epoch.tti_before - epoch.tti_after
+            metrics = service.adaptive_metrics()
+            assert metrics["last_window_tti_before"] == epoch.tti_before
+            assert metrics["last_window_tti_after"] == epoch.tti_after
+
+    def test_tti_measurement_can_be_disabled(self, dual, family_mixes):
+        config = adaptive_config(measure_tti=False)
+        with QueryService(dual, ServiceConfig(adaptive=config)) as service:
+            service.run_batch(family_mixes["a"])
+            epoch = service.tune_now()
+            assert epoch.tti_before is None and epoch.tti_after is None
+            assert epoch.tti_delta is None
+
+    def test_auto_epochs_trigger_on_harvest_threshold(self, dual, family_mixes):
+        config = adaptive_config(epoch_queries=8)
+        with QueryService(dual, ServiceConfig(adaptive=config)) as service:
+            service.run_batch(family_mixes["a"][:30])
+            metrics = service.adaptive_metrics()
+            assert metrics["epochs"] >= 1.0
+            assert service.adaptive.window.pending < 8
+
+    def test_baseline_tuners_plug_in(self, dual, family_mixes):
+        config = adaptive_config(tuner_factory=LRUTuner)
+        with QueryService(dual, ServiceConfig(adaptive=config)) as service:
+            service.run_batch(family_mixes["a"])
+            epoch = service.tune_now()
+            assert epoch.moves > 0
+            assert epoch.invalidations == 1
+
+    def test_background_daemon_runs_epochs(self, dual, family_mixes):
+        import time
+
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            service.run_batch(family_mixes["a"][:10])
+            service.adaptive.start(interval_seconds=0.02)
+            deadline = time.monotonic() + 30.0
+            while service.adaptive.metrics.epochs == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            service.adaptive.stop()
+            assert service.adaptive.metrics.epochs >= 1
+            # An idle interval (nothing newly harvested) must not add epochs.
+            assert service.adaptive.window.pending == 0
+
+    def test_background_daemon_survives_a_failing_epoch(self, dual, family_mixes):
+        import time
+
+        class FlakyTuner(LRUTuner):
+            calls = 0
+
+            def tune(self, recent, upcoming=None):
+                type(self).calls += 1
+                if type(self).calls == 1:
+                    raise RuntimeError("transient tuner failure")
+                return super().tune(recent, upcoming)
+
+        config = adaptive_config(tuner_factory=FlakyTuner)
+        with QueryService(dual, ServiceConfig(adaptive=config)) as service:
+            daemon = service.adaptive
+            service.run_batch(family_mixes["a"][:10])
+            daemon.start(interval_seconds=0.02)
+            deadline = time.monotonic() + 30.0
+            while daemon.metrics.epoch_failures == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            # The failure is recorded, the thread is still alive, and — once
+            # fresh traffic re-arms the trigger — the next epoch succeeds.
+            # (The failed epoch already counts in `epochs`, so the retry is
+            # observed through `epochs_with_moves`: only a *successful* LRU
+            # pass over fresh traffic applies moves.)
+            assert daemon.metrics.epoch_failures == 1
+            assert isinstance(daemon.last_error, RuntimeError)
+            assert daemon.running
+            assert daemon.metrics.epochs_with_moves == 0
+            service.run_batch(family_mixes["a"][:10])
+            deadline = time.monotonic() + 30.0
+            while daemon.metrics.epochs_with_moves == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            daemon.stop()
+            assert daemon.metrics.epochs_with_moves >= 1
+            assert daemon.metrics.epoch_failures == 1
+
+        # The explicit path still propagates tuner errors to the caller.
+        FlakyTuner.calls = 0
+        dual2 = DualStore(TUNER_CONFIG).load(generate_watdiv(500, seed=3).triples)
+        with QueryService(dual2, ServiceConfig(adaptive=adaptive_config(
+                tuner_factory=FlakyTuner))) as service:
+            service.run_batch(family_mixes["a"][:4])
+            with pytest.raises(RuntimeError):
+                service.tune_now()
+
+    def test_failed_epoch_still_accounts_applied_moves(self, dual, family_mixes):
+        """A tuner that dies mid-epoch leaves its already-applied moves (and
+        their single invalidation) on the books — the reconciliation
+        invariants must survive the failure path."""
+
+        class DiesAfterOneMove(LRUTuner):
+            def tune(self, recent, upcoming=None):
+                predicate = _smallest_partitions(self.dual, 1)[0]
+                self.dual.transfer_partition(predicate)
+                raise RuntimeError("died mid-epoch")
+
+        config = adaptive_config(tuner_factory=DiesAfterOneMove)
+        with QueryService(dual, ServiceConfig(adaptive=config)) as service:
+            service.run_batch(family_mixes["a"][:6])
+            generation = dual.generation
+            with pytest.raises(RuntimeError):
+                service.tune_now()
+            # The batched context fired exactly one invalidation on unwind.
+            assert dual.generation == generation + 1
+            assert service.metrics.counters.invalidation_events == 1
+            metrics = service.adaptive_metrics()
+            assert metrics["moves_applied"] == 1.0
+            assert metrics["epochs_with_moves"] == 1.0
+            assert metrics["import_seconds"] > 0.0
+            assert metrics["invalidations_avoided"] == 0.0
+
+    def test_mutations_through_an_adaptive_service_take_the_write_gate(self, dual):
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            predicate = _smallest_partitions(dual, 1)[0]
+            assert service.transfer_partition(predicate) > 0.0
+            assert service.evict_partition(predicate) > 0.0
+            assert service.insert([]) >= 0.0
+            # Three mutations, three invalidation-hook fires (no batching
+            # outside an epoch).
+            assert service.metrics.counters.invalidation_events == 3
+
+    def test_close_stops_the_background_daemon(self, dual):
+        service = QueryService(dual, ServiceConfig(adaptive=adaptive_config()))
+        service.adaptive.start(interval_seconds=30.0)
+        assert service.adaptive.running
+        service.close()
+        assert not service.adaptive.running
+
+    def test_daemon_start_validates_and_refuses_double_start(self, dual):
+        with QueryService(dual, ServiceConfig(adaptive=adaptive_config())) as service:
+            with pytest.raises(ValueError):
+                service.adaptive.start(interval_seconds=0.0)
+            service.adaptive.start(interval_seconds=30.0)
+            with pytest.raises(RuntimeError):
+                service.adaptive.start(interval_seconds=30.0)
+            service.adaptive.stop()
+
+    def test_concurrent_serves_and_epochs_stay_consistent(self, dual, family_mixes, fingerprint):
+        """Serving threads race tuning epochs; every answer must match the
+        uncached truth of some placement — and the final pass exactly."""
+        errors = []
+        config = adaptive_config(window_size=64)
+        with QueryService(dual, ServiceConfig(adaptive=config, max_workers=4)) as service:
+            batch = family_mixes["a"][:12]
+            truth = [fingerprint(dual.run_query(q).result) for q in batch]
+
+            def serve():
+                try:
+                    for _ in range(8):
+                        served = service.run_batch(batch)
+                        for expected, entry in zip(truth, served):
+                            if fingerprint(entry.result) != expected:
+                                errors.append("served answer diverged")
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(repr(exc))
+
+            def tune():
+                try:
+                    for _ in range(4):
+                        service.tune_now()
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(repr(exc))
+
+            threads = [threading.Thread(target=serve) for _ in range(3)]
+            threads.append(threading.Thread(target=tune))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(t.is_alive() for t in threads), "adaptive stress deadlocked"
+            assert not errors, errors[:5]
+            # Every epoch bumped the generation at most once.
+            metrics = service.adaptive_metrics()
+            assert service.metrics.counters.invalidation_events <= metrics["epochs"]
+
+
+# ---------------------------------------------------------------------- #
+# The read/write gate
+# ---------------------------------------------------------------------- #
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        lock = ReadWriteLock()
+        state = {"concurrent_readers": 0, "peak_readers": 0, "writer_saw_readers": False}
+        state_lock = threading.Lock()
+        barrier = threading.Barrier(3)
+
+        def reader():
+            barrier.wait(timeout=10)
+            with lock.read_locked():
+                with state_lock:
+                    state["concurrent_readers"] += 1
+                    state["peak_readers"] = max(state["peak_readers"], state["concurrent_readers"])
+                threading.Event().wait(0.05)
+                with state_lock:
+                    state["concurrent_readers"] -= 1
+
+        def writer():
+            barrier.wait(timeout=10)
+            with lock.write_locked():
+                with state_lock:
+                    if state["concurrent_readers"]:
+                        state["writer_saw_readers"] = True
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert state["peak_readers"] == 2
+        assert not state["writer_saw_readers"]
+
+
+# ---------------------------------------------------------------------- #
+# Serve-metrics regressions (the satellite bugfixes)
+# ---------------------------------------------------------------------- #
+class TestMirroredGaugeCounters:
+    def test_merge_takes_max_of_mirrored_gauges(self):
+        earlier = ServiceCounters(queries_served=5, stale_rejections=3)
+        later = ServiceCounters(queries_served=9, stale_rejections=4)
+        merged = earlier.merge(later)
+        # Plain counters sum; the mirrored cumulative gauge must not.
+        assert merged.queries_served == 14
+        assert merged.stale_rejections == 4
+
+    def test_add_is_gauge_aware_in_place(self):
+        counters = ServiceCounters(stale_rejections=7)
+        counters.add(ServiceCounters(stale_rejections=2, invalidations=1))
+        assert counters.stale_rejections == 7
+        assert counters.invalidations == 1
+
+    def test_two_snapshots_of_one_service_do_not_double_count(self, dual):
+        with QueryService(dual) as service:
+            query = "SELECT ?u WHERE { ?u wsdbm:likes ?p . ?p wsdbm:hasGenre ?g . }"
+            service.run_query(query)
+            # Plant a stale entry so the lookup-time check rejects it.
+            key = service.resolve(query).key
+            entry = service.result_cache._entries[key]
+            entry.generation -= 1
+            service.run_query(query)
+            first = service.metrics.counters.copy()
+            second = service.metrics.counters.copy()
+            assert first.stale_rejections == 1
+            assert first.merge(second).stale_rejections == 1
+
+    def test_copy_preserves_gauges(self):
+        counters = ServiceCounters(stale_rejections=5)
+        assert counters.copy().stale_rejections == 5
+
+
+class TestBoundedLatencyDigest:
+    def test_exact_percentiles_under_the_cap(self):
+        digest = LatencyDigest(capacity=16)
+        for value in [5.0, 1.0, 2.0, 4.0, 3.0]:
+            digest.observe(value)
+        assert digest.p50 == 3.0
+        assert digest.p95 == 5.0
+        assert digest.sample_size == 5
+
+    def test_count_mean_total_stay_exact_past_the_cap(self):
+        digest = LatencyDigest(capacity=32)
+        observations = [float(i % 97) for i in range(10 * 32)]
+        for value in observations:
+            digest.observe(value)
+        assert digest.count == len(observations)
+        assert digest.total == pytest.approx(sum(observations))
+        assert digest.mean == pytest.approx(sum(observations) / len(observations))
+        # Memory is bounded and percentiles stay plausible estimates.
+        assert digest.sample_size == 32
+        assert 0.0 <= digest.p50 <= 96.0
+
+    def test_identically_fed_digests_agree(self):
+        a, b = LatencyDigest(capacity=8), LatencyDigest(capacity=8)
+        for value in range(100):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert a.percentile(50.0) == b.percentile(50.0)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LatencyDigest(capacity=0)
+
+    def test_service_digest_is_bounded(self, dual):
+        with QueryService(dual) as service:
+            digest = service.metrics.modelled_latency
+            assert digest.capacity == LatencyDigest.DEFAULT_CAPACITY
