@@ -73,6 +73,7 @@ from repro.core import (
 )
 from repro.cost import CostModel, DEFAULT_COST_MODEL, ResourceThrottle, SimulatedClock, WorkCounters
 from repro.graphstore import GraphStore, PropertyGraph
+from repro.persist import SnapshotManifest, SnapshotPolicy, load_snapshot, read_manifest
 from repro.rdf import IRI, Literal, TripleSet, Triple, Variable
 from repro.relstore import (
     RelationalBackend,
@@ -164,6 +165,11 @@ __all__ = [
     "AdaptiveConfig",
     "TuningDaemon",
     "WorkloadWindow",
+    # persistence
+    "SnapshotManifest",
+    "SnapshotPolicy",
+    "load_snapshot",
+    "read_manifest",
     # workloads
     "Workload",
     "generate_yago",

@@ -306,6 +306,45 @@ class DualStore:
         return min(seconds, cap_seconds)
 
     # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def snapshot(self, path, keep: int = 2):
+        """Write an atomic, versioned snapshot of the whole dual store.
+
+        Persists the term dictionary, the relational triple tables (per-shard
+        when sharded, preserving placement), the graph store's residency and
+        budget accounting, the physical design, and table statistics, under a
+        manifest carrying the format version, a dataset fingerprint, and the
+        store generation.  Pure read — the generation does not change.  The
+        caller must hold the usual mutation exclusivity (the serving layer
+        checkpoints under its writer gate), making the snapshot a consistent
+        cut.  Returns the committed
+        :class:`~repro.persist.SnapshotManifest`.
+        """
+        from repro.persist.snapshot import write_snapshot  # lazy: avoids an import cycle
+
+        return write_snapshot(self, path, keep=keep)
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        throttle: Optional[ResourceThrottle] = None,
+    ) -> "DualStore":
+        """Rebuild a dual store from the committed snapshot under ``path``.
+
+        The restored store is execution-equivalent to the snapshotted one:
+        byte-identical bindings, bit-identical work counters, identical
+        generation, placement, and statistics.  The tuner configuration is
+        read from the snapshot; the cost model and throttle are runtime
+        concerns supplied by the caller.
+        """
+        from repro.persist.snapshot import load_snapshot  # lazy: avoids an import cycle
+
+        return load_snapshot(path, cost_model=cost_model, throttle=throttle).dual
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def partition_sizes(self) -> Dict[IRI, int]:

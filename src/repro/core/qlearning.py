@@ -143,3 +143,23 @@ class QTable:
 
     def reset(self) -> None:
         self._matrices.clear()
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> List[list]:
+        """Per-partition matrices as ``[predicate, (Q00,Q01,Q10,Q11), updates]``,
+        in insertion order (deterministic restore)."""
+        return [
+            [predicate.value, list(matrix.flatten()), matrix.updates]
+            for predicate, matrix in self._matrices.items()
+        ]
+
+    @classmethod
+    def from_payload(cls, payload: List[list]) -> "QTable":
+        table = cls()
+        for value, flat, updates in payload:
+            matrix = table.matrix(IRI(value))
+            matrix.values = [[float(flat[0]), float(flat[1])], [float(flat[2]), float(flat[3])]]
+            matrix.updates = int(updates)
+        return table

@@ -239,3 +239,25 @@ class Dotil(BaseTuner):
     def warm_up(self, historical: Iterable[ComplexSubquery]) -> TuningReport:
         """Pre-train the Q-matrices on historical complex subqueries."""
         return self.tune(list(historical))
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """The tuner's learned state: every Q-matrix plus the exploration RNG.
+
+        Restoring both means a warm-restarted tuner continues *exactly* where
+        the snapshotted one stopped — same Q-values, same future exploration
+        coin flips — instead of re-learning from a cold table.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "name": self.name,
+            "qtable": self.qtable.to_payload(),
+            "rng": [version, list(internal), gauss_next],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.qtable = QTable.from_payload(state["qtable"])
+        version, internal, gauss_next = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss_next))

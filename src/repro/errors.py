@@ -50,6 +50,15 @@ class UnknownPartitionError(StorageError):
     """A triple partition (predicate) was referenced but does not exist."""
 
 
+class SnapshotError(StorageError):
+    """A durable snapshot could not be written, found, or restored."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A snapshot exists but fails validation (bad version, hash mismatch,
+    truncated file).  Restoring must fail loudly rather than half-load."""
+
+
 class QueryExecutionError(ReproError):
     """A query failed during execution in either store."""
 

@@ -8,7 +8,8 @@ fast for complex queries thanks to index-free adjacency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.cost.resources import ResourceThrottle
@@ -54,6 +55,12 @@ class GraphStore:
         self._partitions: Dict[IRI, int] = {}
         self.total_import_seconds = 0.0
         self.import_count = 0
+        # Serializes the budget check with the partition insert/removal it
+        # guards.  Without it, two concurrent apply_moves (e.g. two tuning
+        # daemons sharing one store) can both pass `fits()` and together
+        # overshoot the budget — a re-entrant lock because an idempotent
+        # partition refresh evicts from inside load_partition.
+        self._budget_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Partition management
@@ -61,7 +68,8 @@ class GraphStore:
     @property
     def loaded_predicates(self) -> Set[IRI]:
         """Predicates whose partitions currently live in the graph store."""
-        return set(self._partitions)
+        with self._budget_lock:
+            return set(self._partitions)
 
     def partition_size(self, predicate: IRI) -> int:
         try:
@@ -71,13 +79,15 @@ class GraphStore:
 
     def used_capacity(self) -> int:
         """Triples currently stored."""
-        return sum(self._partitions.values())
+        with self._budget_lock:
+            return sum(self._partitions.values())
 
     def remaining_capacity(self) -> Optional[int]:
         """Triples that still fit, or ``None`` when unbounded."""
         if self.storage_budget is None:
             return None
-        return self.storage_budget - self.used_capacity()
+        with self._budget_lock:
+            return self.storage_budget - sum(self._partitions.values())
 
     def fits(self, triple_count: int) -> bool:
         remaining = self.remaining_capacity()
@@ -100,35 +110,45 @@ class GraphStore:
                 raise StorageError(
                     f"triple predicate {triple.predicate.value!r} does not belong to partition {predicate.value!r}"
                 )
-        if predicate in self._partitions:
-            # Re-loading an existing partition replaces it (idempotent refresh).
-            self.evict_partition(predicate)
-        if not self.fits(len(staged)):
-            raise StorageBudgetExceeded(
-                f"partition {predicate.value!r} ({len(staged)} triples) exceeds the remaining "
-                f"graph-store budget ({self.remaining_capacity()} triples)"
-            )
-        added = self.graph.add_triples(staged)
-        self._partitions[predicate] = added
-        seconds = self.cost_model.graph_import_seconds(added)
-        if self.throttle is not None:
-            seconds = self.throttle.apply(seconds)
-        self.total_import_seconds += seconds
-        self.import_count += 1
+        # Budget check and partition insert form one atomic section: two
+        # concurrent loads must serialize here, or both could observe enough
+        # remaining capacity and together exceed the budget.
+        with self._budget_lock:
+            if predicate in self._partitions:
+                # Re-loading an existing partition replaces it (idempotent refresh).
+                self.evict_partition(predicate)
+            if not self.fits(len(staged)):
+                raise StorageBudgetExceeded(
+                    f"partition {predicate.value!r} ({len(staged)} triples) exceeds the remaining "
+                    f"graph-store budget ({self.remaining_capacity()} triples)"
+                )
+            added = self.graph.add_triples(staged)
+            self._partitions[predicate] = added
+            # Accounting stays inside the lock: the += read-modify-writes
+            # would otherwise lose updates under the same two-loader
+            # concurrency the lock exists for — and the corrupted totals
+            # would be persisted verbatim by snapshot_state().
+            seconds = self.cost_model.graph_import_seconds(added)
+            if self.throttle is not None:
+                seconds = self.throttle.apply(seconds)
+            self.total_import_seconds += seconds
+            self.import_count += 1
         return seconds
 
     def evict_partition(self, predicate: IRI) -> int:
         """Remove one partition; returns the number of triples evicted."""
-        if predicate not in self._partitions:
-            raise UnknownPartitionError(f"partition {predicate.value!r} is not loaded")
-        removed = self.graph.remove_predicate(predicate)
-        del self._partitions[predicate]
-        return removed
+        with self._budget_lock:
+            if predicate not in self._partitions:
+                raise UnknownPartitionError(f"partition {predicate.value!r} is not loaded")
+            removed = self.graph.remove_predicate(predicate)
+            del self._partitions[predicate]
+            return removed
 
     def clear(self) -> None:
         """Evict everything (used when re-initialising an experiment)."""
-        for predicate in list(self._partitions):
-            self.evict_partition(predicate)
+        with self._budget_lock:
+            for predicate in list(self._partitions):
+                self.evict_partition(predicate)
 
     def __len__(self) -> int:
         return self.used_capacity()
@@ -176,7 +196,57 @@ class GraphStore:
     # Introspection
     # ------------------------------------------------------------------ #
     def partition_sizes(self) -> Dict[IRI, int]:
-        return dict(self._partitions)
+        with self._budget_lock:
+            return dict(self._partitions)
 
     def predicates(self) -> List[IRI]:
-        return sorted(self._partitions, key=lambda p: p.value)
+        with self._budget_lock:
+            return sorted(self._partitions, key=lambda p: p.value)
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """JSON-serializable accelerator bookkeeping.
+
+        Records the residency list **in insertion order** (dict order of
+        ``_partitions``) plus budget/import accounting.  The partition
+        *contents* are serialized separately by :mod:`repro.persist` from the
+        property graph itself — a resident replica is the partition *as it
+        was transferred* and may legitimately lag the master copy (inserts go
+        to the relational store only), so refeeding it from the restored
+        master would silently grow it.  Replaying loads in residency order
+        reproduces the property graph's adjacency-list and edge-list orders,
+        which the matcher's result order depends on.
+        """
+        with self._budget_lock:
+            return {
+                "resident": [predicate.value for predicate in self._partitions],
+                "storage_budget": self.storage_budget,
+                "total_import_seconds": self.total_import_seconds,
+                "import_count": self.import_count,
+            }
+
+    def restore_state(
+        self, state: dict, partition_source: Callable[[IRI], List[Triple]]
+    ) -> None:
+        """Refill an empty store from :meth:`snapshot_state`.
+
+        ``partition_source`` maps a predicate to the exact replica content
+        recorded in the snapshot (decoded by :mod:`repro.persist`).  Import
+        accounting is restored from the snapshot rather than re-charged: a
+        warm restart did not physically re-import anything in the
+        modelled-cost world, and the throttle (if any) must not observe
+        phantom imports.
+        """
+        if self._partitions:
+            raise StorageError("restore_state requires an empty graph store")
+        with self._budget_lock:
+            self.storage_budget = state["storage_budget"]
+            for value in state["resident"]:
+                predicate = IRI(value)
+                staged = partition_source(predicate)
+                added = self.graph.add_triples(staged)
+                self._partitions[predicate] = added
+            self.total_import_seconds = float(state["total_import_seconds"])
+            self.import_count = int(state["import_count"])

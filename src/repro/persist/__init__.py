@@ -1,0 +1,51 @@
+"""Durable snapshots and warm restarts for the dual-store structure.
+
+The paper's Section 6 experiments price the *cold start*: re-ingesting the
+dataset from N-Triples and re-learning the physical design from an untrained
+tuner.  A production serving system cannot pay that on every process restart,
+so this package persists the entire tuned state of a
+:class:`~repro.core.dualstore.DualStore` — term dictionary, relational triple
+tables (unsharded or per-shard, preserving shard placement), graph-store
+residency and budget accounting, the
+:class:`~repro.core.partitions.DualStoreDesign`, table statistics, and
+(through the serving layer) the adaptive tuner's window and Q-state — and
+restores it with full fidelity: the restored store answers every query with
+byte-identical bindings and bit-identical work counters.
+
+Snapshots are *versioned* and written *atomically*: each snapshot is a fresh
+directory populated and fsynced before being renamed into place, and a
+``CURRENT`` pointer file is atomically replaced as the single commit point.
+A crash at any moment leaves either the previous complete snapshot or a
+loud :class:`~repro.errors.SnapshotError` — never a half-loaded store.
+See ``docs/architecture.md`` §7 for the format.
+"""
+
+from repro.persist.snapshot import (
+    FORMAT_VERSION,
+    CapturedSnapshot,
+    RestoredSnapshot,
+    SnapshotManifest,
+    SnapshotPolicy,
+    capture_snapshot,
+    commit_snapshot,
+    dataset_fingerprint,
+    list_snapshots,
+    load_snapshot,
+    read_manifest,
+    write_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CapturedSnapshot",
+    "RestoredSnapshot",
+    "SnapshotManifest",
+    "SnapshotPolicy",
+    "capture_snapshot",
+    "commit_snapshot",
+    "dataset_fingerprint",
+    "list_snapshots",
+    "load_snapshot",
+    "read_manifest",
+    "write_snapshot",
+]

@@ -10,10 +10,44 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Tuple
 
-from repro.errors import StorageError
-from repro.rdf.terms import TermLike, Triple
+from repro.errors import SnapshotIntegrityError, StorageError
+from repro.rdf.terms import BlankNode, IRI, Literal, TermLike, Triple
 
-__all__ = ["TermDictionary", "EncodedTriple"]
+__all__ = ["TermDictionary", "EncodedTriple", "term_to_payload", "term_from_payload"]
+
+
+def term_to_payload(term: TermLike) -> list:
+    """A JSON-serializable encoding of one concrete RDF term.
+
+    Used by the durable-snapshot subsystem (:mod:`repro.persist`): the term
+    dictionary is persisted as one payload per identifier, in identifier
+    order, so a restore reassigns exactly the same dense ids.  Variables are
+    never stored (they cannot occur in data).
+    """
+    if isinstance(term, IRI):
+        return ["i", term.value]
+    if isinstance(term, Literal):
+        return ["l", term.lexical, term.datatype, term.language]
+    if isinstance(term, BlankNode):
+        return ["b", term.label]
+    raise StorageError(f"term {term!r} cannot be persisted (kind {term.kind!r})")
+
+
+def term_from_payload(payload: list) -> TermLike:
+    """Inverse of :func:`term_to_payload`; raises on malformed payloads."""
+    try:
+        kind = payload[0]
+        if kind == "i":
+            return IRI(payload[1])
+        if kind == "l":
+            return Literal(payload[1], payload[2], payload[3])
+        if kind == "b":
+            return BlankNode(payload[1])
+    except SnapshotIntegrityError:
+        raise
+    except Exception as exc:
+        raise SnapshotIntegrityError(f"malformed term payload {payload!r}: {exc}") from exc
+    raise SnapshotIntegrityError(f"unknown term payload kind {payload!r}")
 
 #: A triple encoded as (subject_id, predicate_id, object_id).
 EncodedTriple = Tuple[int, int, int]
@@ -112,6 +146,27 @@ class TermDictionary:
 
     def terms(self) -> Iterator[TermLike]:
         return iter(self._id_to_term)
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> List[list]:
+        """Every term, encoded, in identifier order (id 0 first)."""
+        return [term_to_payload(term) for term in self._id_to_term]
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[list]) -> "TermDictionary":
+        """Rebuild a dictionary assigning ids in payload order.
+
+        Because ids are dense and first-seen ordered, restoring the payload
+        written by :meth:`to_payload` reproduces the exact term↔id mapping of
+        the snapshotted dictionary — the property every persisted integer row
+        depends on.
+        """
+        dictionary = cls()
+        for entry in payload:
+            dictionary.encode(term_from_payload(entry))
+        return dictionary
 
     def items(self) -> Iterator[Tuple[TermLike, int]]:
         return iter(self._term_to_id.items())

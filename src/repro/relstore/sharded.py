@@ -196,13 +196,14 @@ class ShardedRelationalStore:
         shards: int = 4,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         config: Optional[ShardingConfig] = None,
+        dictionary: Optional[TermDictionary] = None,
     ):
         if shards < 1:
             raise ValueError("a sharded store needs at least one shard")
         self.shard_count = shards
         self.cost_model = cost_model
         self.config = config or ShardingConfig()
-        self.dictionary = TermDictionary()
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
         self._tables = [TripleTable(self.dictionary) for _ in range(shards)]
         #: predicate_id -> owner shard index, or SUBJECT_SHARDED.
         self._placement: Dict[int, int] = {}
@@ -524,6 +525,62 @@ class ShardedRelationalStore:
     def estimate_query_seconds(self, query: SelectQuery) -> float:
         """Price a query from statistics only (used by the ideal/one-off tuners)."""
         return estimate_relational_seconds(self.statistics(), self.cost_model, query)
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def content_token(self) -> int:
+        """A token that changes whenever the stored triples change (data
+        mutations only — see :meth:`RelationalStore.content_token`)."""
+        return self._plan_generation
+
+    def snapshot_state(self) -> dict:
+        """JSON-serializable store state: per-shard rows **and** the placement
+        map, so a restore reproduces the exact physical layout — including
+        sticky mega-predicate promotions, which are load-order dependent and
+        could not be re-derived from the rows alone."""
+        return {
+            "kind": "sharded",
+            "shards": self.shard_count,
+            "config": {
+                "skew_threshold": self.config.skew_threshold,
+                "min_subject_shard_rows": self.config.min_subject_shard_rows,
+            },
+            "placement": {str(pid): shard for pid, shard in self._placement.items()},
+            "shard_rows": [table.dump_rows() for table in self._tables],
+            "statistics": self.statistics().to_payload(),
+            "total_insert_seconds": self.total_insert_seconds,
+        }
+
+    @classmethod
+    def restore_state(
+        cls,
+        state: dict,
+        dictionary: TermDictionary,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> "ShardedRelationalStore":
+        """Rebuild a sharded store from :meth:`snapshot_state`.
+
+        Placement is installed *before* the rows, and rows go straight to
+        their recorded shard (no re-routing, no promotion checks): the
+        restored store answers queries with bit-identical logical work and
+        the same per-shard physical breakdown as the snapshotted one.
+        """
+        store = cls(
+            shards=int(state["shards"]),
+            cost_model=cost_model,
+            config=ShardingConfig(
+                skew_threshold=float(state["config"]["skew_threshold"]),
+                min_subject_shard_rows=int(state["config"]["min_subject_shard_rows"]),
+            ),
+            dictionary=dictionary,
+        )
+        store._placement = {int(pid): int(shard) for pid, shard in state["placement"].items()}
+        for table, flat in zip(store._tables, state["shard_rows"]):
+            table.load_rows(flat)
+        store._statistics = TableStatistics.from_payload(state["statistics"])
+        store.total_insert_seconds = float(state["total_insert_seconds"])
+        return store
 
     # ------------------------------------------------------------------ #
     # Scatter internals

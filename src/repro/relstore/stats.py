@@ -112,6 +112,39 @@ class TableStatistics:
             rows = max(1, rows // max(1, len(self.per_predicate)))
         return rows
 
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """A JSON-serializable snapshot of the statistics.
+
+        Recomputing statistics after a restore would yield identical values
+        (they are a pure function of the rows), but persisting them lets a
+        warm restart skip the recompute pass entirely — the planner is ready
+        on the first served query.
+        """
+        return {
+            "total_rows": self.total_rows,
+            "per_predicate": {
+                predicate.value: [s.cardinality, s.distinct_subjects, s.distinct_objects]
+                for predicate, s in self.per_predicate.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TableStatistics":
+        return cls(
+            total_rows=int(payload["total_rows"]),
+            per_predicate={
+                IRI(value): PredicateStatistics(
+                    cardinality=int(entry[0]),
+                    distinct_subjects=int(entry[1]),
+                    distinct_objects=int(entry[2]),
+                )
+                for value, entry in payload["per_predicate"].items()
+            },
+        )
+
     def estimate_query_work(self, query: SelectQuery) -> float:
         """Rough relational work units (rows touched) for a whole query.
 

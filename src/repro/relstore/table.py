@@ -205,6 +205,36 @@ class TripleTable:
             self._by_predicate_object[(predicate_id, object_id)].append(row_id)
         return reclaimed
 
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def dump_rows(self) -> List[int]:
+        """Live rows flattened to ``[s0, p0, o0, s1, p1, o1, ...]``.
+
+        Rows appear in row-id order with tombstones skipped — the compacted
+        equivalent of the table.  Re-inserting them in this order rebuilds
+        every secondary index with the same per-predicate entry order, so
+        scans (and therefore query results and work counters) are identical
+        to the snapshotted table's.
+        """
+        flat: List[int] = []
+        extend = flat.extend
+        for row in self._rows:
+            if row is not None:
+                extend(row)
+        return flat
+
+    def load_rows(self, flat: List[int]) -> int:
+        """Insert rows previously produced by :meth:`dump_rows`; returns the
+        number inserted.  The dictionary must already contain every id."""
+        if len(flat) % 3:
+            raise StorageError(f"flat row payload length {len(flat)} is not a multiple of 3")
+        inserted = 0
+        for offset in range(0, len(flat), 3):
+            if self.insert_row((flat[offset], flat[offset + 1], flat[offset + 2])):
+                inserted += 1
+        return inserted
+
     def require_term_id(self, term) -> int:
         """Encode a concrete term, failing loudly if it was never stored."""
         term_id = self.dictionary.lookup(term)

@@ -9,7 +9,9 @@ within-batch deduplication, and a thread pool over the read-only stores.
 window of served complex subqueries plus a tuning daemon that re-places
 partitions epoch by epoch while serving continues.  See
 ``docs/architecture.md`` (§3 for the cache-invalidation contract, §6 for the
-adaptive subsystem).
+adaptive subsystem).  Durable checkpointing and warm restarts
+(``ServiceConfig.snapshot`` / :meth:`QueryService.restore`) are built on
+:mod:`repro.persist` (§7).
 """
 
 from repro.serve.adaptive import (
@@ -21,6 +23,7 @@ from repro.serve.adaptive import (
     WindowEntry,
     WorkloadWindow,
 )
+from repro.persist.snapshot import SnapshotManifest, SnapshotPolicy
 from repro.serve.metrics import LatencyDigest, QueueGauge, ServiceCounters, ServiceMetrics
 from repro.serve.plan_cache import PlanCache, QueryPlan
 from repro.serve.result_cache import CachedExecution, ResultCache
@@ -30,6 +33,8 @@ __all__ = [
     "QueryService",
     "ServiceConfig",
     "ServedBatch",
+    "SnapshotManifest",
+    "SnapshotPolicy",
     "AdaptiveConfig",
     "AdaptiveMetrics",
     "EpochReport",

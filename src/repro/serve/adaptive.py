@@ -46,6 +46,7 @@ from typing import Callable, Deque, Dict, Iterator, List, Optional
 from repro.core.dualstore import DualStore
 from repro.core.identifier import ComplexSubquery
 from repro.core.tuner import BaseTuner, Dotil, TuningReport
+from repro.errors import TuningError
 from repro.sparql.ast import SelectQuery
 
 __all__ = [
@@ -66,6 +67,16 @@ class ReadWriteLock:
     mutation routed through the service) is exclusive.  Writer preference —
     arriving writers block *new* readers — keeps an epoch from starving under
     steady traffic.
+
+    The lock is **not** re-entrant: if the thread currently holding the
+    write side tries to acquire either side again (e.g. a tuner epoch
+    callback that serves a query — or mutates — *through the service*), it
+    would wait for itself forever.  Both cases raise
+    :class:`~repro.errors.TuningError` immediately instead of wedging the
+    whole service.  Known limitation: re-entrant *read* acquisition by a
+    reader thread while a writer waits can still deadlock — detecting it
+    would need per-thread read tracking on the hot serve path, and no code
+    in this repository nests serves.
     """
 
     def __init__(self) -> None:
@@ -73,9 +84,17 @@ class ReadWriteLock:
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        self._writer_thread: Optional[int] = None
 
     def acquire_read(self) -> None:
         with self._condition:
+            if self._writer and self._writer_thread == threading.get_ident():
+                raise TuningError(
+                    "re-entrant read acquisition: this thread holds the write side of "
+                    "the serving gate (a tuning epoch or mutation in progress) and "
+                    "cannot serve a query through it without deadlocking; run the "
+                    "query after the epoch, or directly against the store"
+                )
             while self._writer or self._writers_waiting:
                 self._condition.wait()
             self._readers += 1
@@ -88,6 +107,13 @@ class ReadWriteLock:
 
     def acquire_write(self) -> None:
         with self._condition:
+            if self._writer and self._writer_thread == threading.get_ident():
+                raise TuningError(
+                    "re-entrant write acquisition: this thread already holds the write "
+                    "side of the serving gate (a tuning epoch or mutation in progress) "
+                    "and would wait on itself forever; mutate the dual store directly "
+                    "from inside an epoch instead of going through the service"
+                )
             self._writers_waiting += 1
             try:
                 while self._writer or self._readers:
@@ -101,10 +127,12 @@ class ReadWriteLock:
                 raise
             self._writers_waiting -= 1
             self._writer = True
+            self._writer_thread = threading.get_ident()
 
     def release_write(self) -> None:
         with self._condition:
             self._writer = False
+            self._writer_thread = None
             self._condition.notify_all()
 
     @contextmanager
@@ -178,6 +206,35 @@ class WorkloadWindow:
         with self._lock:
             self._pending = 0
             return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """JSON-serializable window state.  Queries persist as their
+        deterministic SPARQL rendering; the complex subqueries are re-derived
+        on restore (the identifier is a pure function of the query)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "pending": self._pending,
+                "harvested": self.harvested,
+                "entries": [[entry.key, entry.query.to_sparql()] for entry in self._entries],
+            }
+
+    def restore_state(self, state: dict, dual: DualStore) -> None:
+        from repro.sparql.parser import parse_query  # local: parser imports nothing of serve
+
+        with self._lock:
+            self._entries.clear()
+            for key, text in state["entries"]:
+                query = parse_query(text)
+                complex_subquery = dual.identifier.identify(query)
+                if complex_subquery is None:  # pragma: no cover - harvested entries are complex
+                    continue
+                self._entries.append(WindowEntry(key, query, complex_subquery))
+            self._pending = int(state["pending"])
+            self.harvested = int(state["harvested"])
 
 
 @dataclass(frozen=True)
@@ -324,6 +381,12 @@ class TuningDaemon:
         #: Last exception a *background* epoch raised (diagnostics; the
         #: explicit run_epoch path propagates instead).
         self.last_error: Optional[Exception] = None
+        #: Invoked (outside the gate) after every *background-thread* epoch.
+        #: The owning service points this at its snapshot-policy check, so
+        #: daemon-driven epochs hit the same checkpoint boundary as
+        #: ``tune_now()`` and auto epochs — without it, a background-driven
+        #: service with durability configured would never checkpoint.
+        self.post_epoch_hook: Optional[Callable[[], object]] = None
         self._epoch_lock = threading.Lock()
         # Guards metrics/last_epoch for observers: _fold mutates field by
         # field, and a reader overlapping it would see a torn snapshot that
@@ -468,6 +531,44 @@ class TuningDaemon:
             return self.metrics.as_dict()
 
     # ------------------------------------------------------------------ #
+    # Durable snapshots (repro.persist)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """The adaptive layer's warm-restart payload: the workload window,
+        the tuner's learned state (when the tuner supports it — DOTIL does),
+        and the cumulative epoch metrics."""
+        state: dict = {"window": self.window.snapshot_state()}
+        tuner_snapshot = getattr(self.tuner, "snapshot_state", None)
+        if callable(tuner_snapshot):
+            state["tuner"] = tuner_snapshot()
+        with self._metrics_lock:
+            state["metrics"] = self.metrics.as_dict()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        self.window.restore_state(state["window"], self.dual)
+        tuner_state = state.get("tuner")
+        tuner_restore = getattr(self.tuner, "restore_state", None)
+        if tuner_state is not None and callable(tuner_restore):
+            if tuner_state.get("name") == getattr(self.tuner, "name", None):
+                tuner_restore(tuner_state)
+        metrics = state.get("metrics")
+        if metrics:
+            with self._metrics_lock:
+                m = self.metrics
+                m.epochs = int(metrics.get("epochs", 0))
+                m.epochs_with_moves = int(metrics.get("epochs_with_moves", 0))
+                m.epoch_failures = int(metrics.get("epoch_failures", 0))
+                m.transfers_applied = int(metrics.get("transfers_applied", 0))
+                m.evictions_applied = int(metrics.get("evictions_applied", 0))
+                m.import_seconds = float(metrics.get("import_seconds", 0.0))
+                m.evict_seconds = float(metrics.get("evict_seconds", 0.0))
+                m.invalidations_avoided = int(metrics.get("invalidations_avoided", 0))
+                m.tti_delta_total = float(metrics.get("tti_delta_total", 0.0))
+                m.last_window_tti_before = float(metrics.get("last_window_tti_before", 0.0))
+                m.last_window_tti_after = float(metrics.get("last_window_tti_after", 0.0))
+
+    # ------------------------------------------------------------------ #
     # Background operation
     # ------------------------------------------------------------------ #
     def start(self, interval_seconds: float) -> None:
@@ -493,6 +594,9 @@ class TuningDaemon:
                 continue
             try:
                 self.run_epoch()
+                hook = self.post_epoch_hook
+                if hook is not None:
+                    hook()
             except Exception as exc:
                 # One failing epoch (a buggy custom tuner, a transient error
                 # in TTI pricing) must not silently kill adaptation for the

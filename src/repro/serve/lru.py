@@ -17,6 +17,13 @@ __all__ = ["LRUCache"]
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: Absence sentinel for lookups.  ``get`` must distinguish "key missing" from
+#: "key present with a falsy value" — comparing the cached value against
+#: ``None`` (as the original implementation did) silently treated 0, "", and
+#: empty containers as misses and, worse, skipped their recency bump, so a
+#: legitimately-falsy hot entry aged out under capacity pressure.
+_MISSING = object()
+
 
 class LRUCache(Generic[K, V]):
     """A capacity-bounded, thread-safe LRU map over hashable keys."""
@@ -30,10 +37,11 @@ class LRUCache(Generic[K, V]):
 
     def get(self, key: K) -> Optional[V]:
         with self._lock:
-            value = self._entries.get(key)
-            if value is not None:
-                self._entries.move_to_end(key)
-            return value
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                return None
+            self._entries.move_to_end(key)
+            return value  # type: ignore[return-value]
 
     def put(self, key: K, value: V) -> None:
         with self._lock:

@@ -57,6 +57,13 @@ class ServiceCounters:
         emptied the cache).  **Mirrored gauge**: the service copies the
         cache's own cumulative counter by assignment, so every snapshot
         already carries the full total — see :attr:`MIRRORED_GAUGES`.
+    snapshots_taken:
+        Durable checkpoints the service committed (``ServiceConfig.snapshot``
+        policy triggers plus explicit ``checkpoint()`` calls).
+    snapshot_failures:
+        Checkpoint commits that failed.  Policy-triggered failures are
+        recorded here (and in ``QueryService.last_snapshot_error``) instead
+        of raising out of the mutation that triggered them.
     """
 
     #: Fields the service mirrors *by assignment* from another cumulative
@@ -76,6 +83,8 @@ class ServiceCounters:
     invalidations: int = 0
     invalidation_events: int = 0
     stale_rejections: int = 0
+    snapshots_taken: int = 0
+    snapshot_failures: int = 0
 
     def merge(self, other: "ServiceCounters") -> "ServiceCounters":
         """Return a new counter object with both contributions combined

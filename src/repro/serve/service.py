@@ -44,13 +44,24 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
+from pathlib import Path
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.dualstore import DualStore
 from repro.core.metrics import BatchResult, QueryRecord
 from repro.core.processor import ProcessedQuery
+from repro.cost.model import CostModel, DEFAULT_COST_MODEL
+from repro.cost.resources import ResourceThrottle
 from repro.execution import ExecutionResult
+from repro.persist.snapshot import (
+    CapturedSnapshot,
+    SnapshotManifest,
+    SnapshotPolicy,
+    capture_snapshot,
+    commit_snapshot,
+    load_snapshot,
+)
 from repro.rdf.terms import IRI, Triple
 from repro.relstore.sharded import ShardedRelationalStore
 from repro.sparql.ast import SelectQuery
@@ -122,6 +133,14 @@ class ServiceConfig:
         store's physical design epoch by epoch, concurrently-safely with
         in-flight serves.  ``None`` (the default) serves a frozen placement,
         exactly as before.
+    snapshot:
+        Opt-in durable checkpointing (:mod:`repro.persist`).  When set, the
+        service snapshots the dual store (plus the adaptive window/tuner
+        state when adaptive tuning is on) under the policy's path whenever
+        its mutation-count or interval trigger fires — always under the
+        writer gate, so every snapshot is a consistent cut.  Restart with
+        :meth:`QueryService.restore`.  ``None`` (the default) keeps the
+        service memory-only.
     """
 
     plan_cache_size: int = 1024
@@ -129,6 +148,7 @@ class ServiceConfig:
     max_workers: int = 4
     cache_results: bool = True
     adaptive: Optional[AdaptiveConfig] = None
+    snapshot: Optional[SnapshotPolicy] = None
 
 
 @dataclass
@@ -201,6 +221,21 @@ class QueryService:
         #: The online adaptive tuning subsystem (``None`` unless opted in via
         #: ``ServiceConfig.adaptive``).  The gate serializes tuning epochs
         #: (exclusive) against in-flight serves (shared).
+        #: Durable checkpointing (ServiceConfig.snapshot).  The mutation
+        #: counter is bumped by the invalidation hook (one per generation
+        #: bump, so a batched tuning epoch counts once) and the policy is
+        #: evaluated at mutation/epoch boundaries: the in-memory *capture*
+        #: happens under the writer gate (the consistent cut), the disk
+        #: *commit* happens after the gate is released (serving resumes while
+        #: the fsyncs run), serialized by its own I/O lock.
+        self._snapshot_policy = self.config.snapshot
+        self._mutations_since_snapshot = 0
+        self._last_snapshot_monotonic = time.monotonic()
+        self._snapshot_io_lock = threading.Lock()
+        self.last_snapshot: Optional[SnapshotManifest] = None
+        #: Last exception a *policy-triggered* commit raised (diagnostics;
+        #: the explicit checkpoint() path propagates instead).
+        self.last_snapshot_error: Optional[Exception] = None
         self.adaptive: Optional[TuningDaemon] = None
         self._gate: Optional[ReadWriteLock] = None
         if self.config.adaptive is not None:
@@ -213,6 +248,9 @@ class QueryService:
                 gate=self._gate,
                 config=adaptive,
             )
+            # Background-thread epochs (daemon.start) must hit the same
+            # snapshot-policy boundary as tune_now() and auto epochs.
+            self.adaptive.post_epoch_hook = self._maybe_checkpoint_gated
         dual.add_invalidation_hook(self._on_mutation)
 
     # ------------------------------------------------------------------ #
@@ -393,7 +431,8 @@ class QueryService:
                     window.record(plan.key, plan.query, plan.complex_subquery)
             # Outside the read gate by now, so an auto epoch can take the
             # write side without deadlocking on our own serve.
-            self.adaptive.maybe_run_epoch()
+            if self.adaptive.maybe_run_epoch() is not None:
+                self._maybe_checkpoint_gated()
         return ServedBatch(executions=entries, cache_hits=hit_count, coalesced=coalesced_count)
 
     def _execute_all(self, plans: List[QueryPlan]) -> List[ProcessedQuery]:
@@ -441,21 +480,29 @@ class QueryService:
     # With adaptive tuning on, each delegation takes the write side of the
     # gate so it is exclusive with in-flight serves and tuning epochs.
     # ------------------------------------------------------------------ #
-    def insert(self, triples: Iterable[Triple]) -> float:
+    def _gated_mutation(self, mutate: Callable[[], float]) -> float:
+        """One delegated mutation: exclusive with serves/epochs via the
+        write gate, followed by the snapshot-policy check (capture under the
+        gate, commit outside it, failures recorded — never raised out of the
+        committed mutation)."""
         with self._write_gated():
-            return self.dual.insert(triples)
+            seconds = mutate()
+            pending = self._try_capture_locked()
+        self._commit_captured(pending, propagate=False)
+        return seconds
+
+    def insert(self, triples: Iterable[Triple]) -> float:
+        return self._gated_mutation(lambda: self.dual.insert(triples))
 
     def transfer_partition(self, predicate: IRI) -> float:
         """Replicate one partition into the graph store; returns modelled
         import seconds."""
-        with self._write_gated():
-            return self.dual.transfer_partition(predicate)
+        return self._gated_mutation(lambda: self.dual.transfer_partition(predicate))
 
     def evict_partition(self, predicate: IRI) -> float:
         """Remove one partition from the graph store; returns modelled
         eviction seconds (symmetric with :meth:`transfer_partition`)."""
-        with self._write_gated():
-            return self.dual.evict_partition(predicate)
+        return self._gated_mutation(lambda: self.dual.evict_partition(predicate))
 
     @contextmanager
     def _write_gated(self):
@@ -470,6 +517,173 @@ class QueryService:
         with self._metrics_lock:
             self.metrics.counters.invalidations += dropped
             self.metrics.counters.invalidation_events += 1
+            self._mutations_since_snapshot += 1
+
+    # ------------------------------------------------------------------ #
+    # Durable checkpoints (ServiceConfig.snapshot)
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path=None, keep: Optional[int] = None) -> SnapshotManifest:
+        """Snapshot the dual store (and adaptive state) right now.
+
+        The in-memory capture happens under the writer gate (a consistent
+        cut even with serves in flight); the disk write happens after the
+        gate is released, so serving resumes while the fsyncs run.  ``path``
+        defaults to the configured policy's path; without a policy it must
+        be given explicitly.  ``keep`` overrides the retention for this
+        call — important for ad-hoc backup roots, which otherwise rotate at
+        the policy's (or the default) retention and would silently drop
+        older manual backups.  Write failures propagate.
+        """
+        if path is None and self._snapshot_policy is None:
+            raise RuntimeError(
+                "no snapshot path: configure ServiceConfig(snapshot=SnapshotPolicy(...)) "
+                "or pass checkpoint(path=...)"
+            )
+        with self._write_gated():
+            pending = self._capture_locked(path)
+        if keep is not None:
+            captured, target, _default_keep = pending
+            pending = (captured, target, keep)
+        return self._commit_captured(pending, propagate=True)
+
+    def _snapshot_due(self) -> bool:
+        policy = self._snapshot_policy
+        if policy is None:
+            return False
+        if policy.every_mutations:
+            with self._metrics_lock:
+                pending = self._mutations_since_snapshot
+            if pending >= policy.every_mutations:
+                return True
+        if policy.interval_seconds:
+            if time.monotonic() - self._last_snapshot_monotonic >= policy.interval_seconds:
+                return True
+        return False
+
+    def _maybe_capture_locked(self):
+        """Capture a checkpoint if the policy says one is due; caller holds
+        the writer gate (or the store's usual mutation exclusivity when
+        there is no gate).  Returns the pending capture or ``None``."""
+        if not self._snapshot_due():
+            return None
+        return self._capture_locked(None)
+
+    def _try_capture_locked(self):
+        """:meth:`_maybe_capture_locked` for the mutation paths — never
+        raises.  The mutation that triggered the capture already committed,
+        so a capture failure (e.g. an unsupported backend) must be recorded,
+        not thrown back at a caller whose operation succeeded.  The trigger
+        is consumed like a commit failure's: the next policy window retries
+        instead of every subsequent mutation re-raising."""
+        try:
+            return self._maybe_capture_locked()
+        except Exception as exc:
+            self.last_snapshot_error = exc
+            with self._metrics_lock:
+                self.metrics.counters.snapshot_failures += 1
+                self._mutations_since_snapshot = 0
+            self._last_snapshot_monotonic = time.monotonic()
+            return None
+
+    def _maybe_checkpoint_gated(self) -> Optional[SnapshotManifest]:
+        """Policy checkpoint from outside the gate (the post-epoch path):
+        due-ness is re-checked under the gate so concurrent serves race to
+        at most one capture, and the commit runs after release."""
+        if not self._snapshot_due():
+            return None
+        with self._write_gated():
+            pending = self._try_capture_locked()
+        return self._commit_captured(pending, propagate=False)
+
+    def _capture_locked(self, path) -> Tuple[CapturedSnapshot, "Path", int]:
+        """The consistency-critical half of a checkpoint (no I/O).
+
+        Resets the policy triggers at capture time — the cut is taken; if
+        the later commit fails, the failure is recorded and the *next*
+        policy window retries, rather than every subsequent mutation
+        re-attempting a doomed write.
+        """
+        policy = self._snapshot_policy
+        on_policy_path = path is None
+        if path is None:
+            assert policy is not None  # guarded by checkpoint()/_snapshot_due()
+            path = policy.path
+        elif policy is not None:
+            on_policy_path = Path(path).resolve() == Path(policy.path).resolve()
+        extras = None
+        if self.adaptive is not None:
+            extras = {"adaptive": self.adaptive.snapshot_state()}
+        captured = capture_snapshot(self.dual, extras=extras)
+        if on_policy_path:
+            # Only a checkpoint on the policy's own path satisfies the
+            # policy: an explicit side checkpoint to an ad-hoc path must
+            # not quench the triggers, or the configured path would fall
+            # arbitrarily behind the state it is meant to protect.
+            with self._metrics_lock:
+                self._mutations_since_snapshot = 0
+            self._last_snapshot_monotonic = time.monotonic()
+        return (captured, path, policy.keep if policy else 2)
+
+    def _commit_captured(
+        self, pending: Optional[Tuple[CapturedSnapshot, "Path", int]], propagate: bool
+    ) -> Optional[SnapshotManifest]:
+        """The I/O half of a checkpoint, outside the writer gate.
+
+        Policy-triggered commits (``propagate=False``) record failures in
+        :attr:`last_snapshot_error` / ``snapshot_failures`` instead of
+        raising — a full disk must not poison the mutation that triggered
+        the checkpoint (the mutation itself already committed).  The
+        explicit :meth:`checkpoint` path propagates.
+        """
+        if pending is None:
+            return None
+        captured, path, keep = pending
+        try:
+            with self._snapshot_io_lock:
+                manifest = commit_snapshot(captured, path, keep=keep)
+        except Exception as exc:
+            with self._metrics_lock:
+                self.metrics.counters.snapshot_failures += 1
+            self.last_snapshot_error = exc
+            if propagate:
+                raise
+            return None
+        self.last_snapshot = manifest
+        if manifest.generation == captured.generation:
+            # A returned manifest with a *newer* generation means the commit
+            # was a stale-capture no-op (another checkpoint already committed
+            # a younger cut): nothing was written, so nothing is counted.
+            with self._metrics_lock:
+                self.metrics.counters.snapshots_taken += 1
+        return manifest
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        config: Optional[ServiceConfig] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        throttle: Optional[ResourceThrottle] = None,
+    ) -> "QueryService":
+        """Warm-restart a service from a committed snapshot.
+
+        Rebuilds the dual store (placement, statistics, and generation
+        intact) and — when ``config`` enables adaptive tuning and the
+        snapshot carries adaptive state — the workload window and the
+        tuner's learned Q-state, so the restored service serves at the
+        snapshotted placement's modelled TTI immediately, with **zero**
+        tuning epochs (``benchmarks/bench_warm_restart.py`` pins this).
+        """
+        restored = load_snapshot(path, cost_model=cost_model, throttle=throttle)
+        service = cls(restored.dual, config)
+        if (
+            service.adaptive is not None
+            and restored.extras is not None
+            and "adaptive" in restored.extras
+        ):
+            service.adaptive.restore_state(restored.extras["adaptive"])
+        service.last_snapshot = restored.manifest
+        return service
 
     # ------------------------------------------------------------------ #
     # Online adaptive tuning (ServiceConfig.adaptive)
@@ -481,7 +695,9 @@ class QueryService:
                 "adaptive tuning is not enabled; construct the service with "
                 "ServiceConfig(adaptive=AdaptiveConfig(...))"
             )
-        return self.adaptive.run_epoch()
+        epoch = self.adaptive.run_epoch()
+        self._maybe_checkpoint_gated()
+        return epoch
 
     def adaptive_metrics(self) -> Optional[Dict[str, float]]:
         """Cumulative epoch metrics, or ``None`` when adaptive tuning is off."""

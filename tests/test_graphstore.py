@@ -191,3 +191,90 @@ class TestGraphStoreQueries:
         default = loaded_store.execute(advisor_query)
         naive = loaded_store.execute(advisor_query, pattern_order=list(advisor_query.patterns))
         assert default.distinct_rows() == naive.distinct_rows()
+
+
+class TestGraphStoreBudgetAtomicity:
+    """Regression: ``load_partition``'s budget check and partition insert
+    were two separate steps, so two concurrent loaders (e.g. two tuning
+    daemons calling ``apply_moves`` on one store) could both pass ``fits()``
+    and together exceed the budget.  The check-then-insert now runs under
+    one lock."""
+
+    @staticmethod
+    def _partition(index: int, size: int):
+        predicate = YAGO.term(f"stress_p{index}")
+        return predicate, [
+            Triple(YAGO.term(f"s{index}_{row}"), predicate, YAGO.term(f"o{index}_{row}"))
+            for row in range(size)
+        ]
+
+    def test_two_threads_never_exceed_the_budget(self):
+        import threading
+
+        partition_size = 40
+        # Room for exactly three partitions: with six loaded concurrently
+        # from two threads, at least three must be rejected.
+        store = GraphStore(storage_budget=3 * partition_size)
+        partitions = [self._partition(i, partition_size) for i in range(6)]
+        overshoots = []
+        rejected = []
+        barrier = threading.Barrier(2)
+
+        def loader(chunk):
+            barrier.wait(timeout=10)
+            for predicate, triples in chunk:
+                try:
+                    store.load_partition(predicate, triples)
+                except StorageBudgetExceeded:
+                    rejected.append(predicate)
+                used = store.used_capacity()
+                if used > store.storage_budget:
+                    overshoots.append(used)
+
+        threads = [
+            threading.Thread(target=loader, args=(partitions[:3],)),
+            threading.Thread(target=loader, args=(partitions[3:],)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert not overshoots, f"budget exceeded: {overshoots}"
+        assert store.used_capacity() <= store.storage_budget
+        assert store.used_capacity() == 3 * partition_size
+        assert len(rejected) == 3
+        # Import accounting is updated under the same lock: no lost updates.
+        assert store.import_count == 3
+        assert store.total_import_seconds == pytest.approx(
+            3 * store.cost_model.graph_import_seconds(partition_size)
+        )
+
+    def test_stress_interleaved_load_evict_keeps_budget_invariant(self):
+        import random
+        import threading
+
+        store = GraphStore(storage_budget=100)
+        partitions = [self._partition(i, 30) for i in range(8)]
+        overshoots = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            for _ in range(60):
+                predicate, triples = partitions[rng.randrange(len(partitions))]
+                try:
+                    if rng.random() < 0.6:
+                        store.load_partition(predicate, triples)
+                    else:
+                        store.evict_partition(predicate)
+                except (StorageBudgetExceeded, UnknownPartitionError):
+                    pass
+                if store.used_capacity() > store.storage_budget:
+                    overshoots.append(store.used_capacity())
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not overshoots, f"budget exceeded: {overshoots}"

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import DualStore, QueryService, ServiceConfig, generate_yago, parse_query, yago_workload
+from repro.serve.lru import LRUCache
 from repro.serve.metrics import LatencyDigest, ServiceCounters
 from repro.serve.plan_cache import PlanCache, QueryPlan
 from repro.serve.result_cache import CachedExecution, ResultCache
@@ -526,3 +527,36 @@ class TestShardedServing:
             service.run_batch(batch)
             assert service._scatter_pool is None
             assert sharded_dual.relational._scatter_pool is None
+
+
+# ---------------------------------------------------------------------- #
+# LRU cache: falsy values are real entries
+# ---------------------------------------------------------------------- #
+class TestLRUCacheFalsyValues:
+    """Regression: ``LRUCache.get`` used an ``is not None`` check on the
+    cached value, so a legitimately-falsy entry (0, "", empty list) was
+    reported as a miss *and* never got its recency bumped — a hot falsy
+    entry aged out of the cache under capacity pressure."""
+
+    def test_falsy_values_are_hits(self):
+        cache = LRUCache(capacity=4)
+        for key, value in (("zero", 0), ("empty", ""), ("nothing", []), ("false", False)):
+            cache.put(key, value)
+            assert cache.get(key) == value
+            assert key in cache
+
+    def test_missing_key_is_still_a_miss(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("absent") is None
+
+    def test_falsy_entry_survives_capacity_pressure_after_a_hit(self):
+        cache = LRUCache(capacity=2)
+        cache.put("falsy", 0)
+        cache.put("other", 1)
+        # The hit must move "falsy" to the recent end ...
+        assert cache.get("falsy") == 0
+        # ... so the next insert evicts "other", not the falsy entry.
+        cache.put("newcomer", 2)
+        assert cache.get("falsy") == 0
+        assert cache.get("other") is None
+        assert len(cache) == 2

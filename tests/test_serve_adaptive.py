@@ -20,6 +20,7 @@ from repro import (
     parse_query,
     watdiv_workload,
 )
+from repro.errors import TuningError
 from repro.rdf.namespace import WATDIV
 from repro.serve.adaptive import ReadWriteLock, WorkloadWindow
 from repro.serve.metrics import LatencyDigest, ServiceCounters
@@ -547,3 +548,77 @@ class TestBoundedLatencyDigest:
         with QueryService(dual) as service:
             digest = service.metrics.modelled_latency
             assert digest.capacity == LatencyDigest.DEFAULT_CAPACITY
+
+
+class TestReadWriteLockReentrancy:
+    """Regression: the writer thread re-entering ``acquire_read`` (e.g. a
+    tuner epoch callback that tries to serve a query through the service)
+    used to wait on its own writer flag forever — a silent deadlock.  It now
+    raises a clear ``TuningError`` instead."""
+
+    def test_writer_thread_reacquiring_read_raises(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with pytest.raises(TuningError, match="re-entrant read acquisition"):
+                lock.acquire_read()
+        # The write side was released cleanly: readers proceed afterwards.
+        with lock.read_locked():
+            pass
+
+    def test_other_threads_still_block_not_raise(self):
+        lock = ReadWriteLock()
+        acquired = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def writer():
+            with lock.write_locked():
+                acquired.set()
+                release.wait(timeout=10)
+
+        def reader():
+            # A *different* thread must block (normal contention), not raise.
+            lock.acquire_read()
+            outcome["read"] = True
+            lock.release_read()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        assert acquired.wait(timeout=10)
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        reader_thread.join(timeout=0.2)
+        assert reader_thread.is_alive()  # blocked on the held write lock
+        release.set()
+        writer_thread.join(timeout=10)
+        reader_thread.join(timeout=10)
+        assert outcome.get("read") is True
+
+    def test_epoch_callback_serving_through_the_service_fails_loudly(self, dataset):
+        """The end-to-end shape of the bug: a tuner that serves a query
+        through the service mid-epoch must get a TuningError, not wedge."""
+
+        class ServingTuner(Dotil):
+            def __init__(self, dual, service_ref):
+                super().__init__(dual, TUNER_CONFIG)
+                self._service_ref = service_ref
+
+            def tune(self, recent, upcoming=None):
+                self._service_ref["service"].run_query(
+                    "SELECT ?s WHERE { ?s wsdbm:follows ?o . ?o wsdbm:follows ?s . }"
+                )
+                return super().tune(recent, upcoming)
+
+        service_ref = {}
+        dual = DualStore(TUNER_CONFIG).load(dataset.triples)
+        config = ServiceConfig(
+            adaptive=AdaptiveConfig(
+                epoch_queries=0,
+                tuner_factory=lambda d: ServingTuner(d, service_ref),
+            )
+        )
+        with QueryService(dual, config) as service:
+            service_ref["service"] = service
+            service.run_batch(watdiv_workload(dataset, family="star", seed=3).ordered()[:8])
+            with pytest.raises(TuningError, match="re-entrant read acquisition"):
+                service.tune_now()
