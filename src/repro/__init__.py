@@ -72,8 +72,21 @@ from repro.core import (
     run_workload_repeated,
 )
 from repro.cost import CostModel, DEFAULT_COST_MODEL, ResourceThrottle, SimulatedClock, WorkCounters
+from repro.endpoint import (
+    EndpointConfig,
+    EndpointPool,
+    SparqlEndpoint,
+    WorkerSupervisor,
+    sparql_request,
+)
 from repro.graphstore import GraphStore, PropertyGraph
-from repro.persist import SnapshotManifest, SnapshotPolicy, load_snapshot, read_manifest
+from repro.persist import (
+    SnapshotManifest,
+    SnapshotPolicy,
+    SnapshotWatcher,
+    load_snapshot,
+    read_manifest,
+)
 from repro.rdf import IRI, Literal, TripleSet, Triple, Variable
 from repro.relstore import (
     RelationalBackend,
@@ -168,8 +181,15 @@ __all__ = [
     # persistence
     "SnapshotManifest",
     "SnapshotPolicy",
+    "SnapshotWatcher",
     "load_snapshot",
     "read_manifest",
+    # endpoint (network-facing serving)
+    "EndpointConfig",
+    "EndpointPool",
+    "SparqlEndpoint",
+    "WorkerSupervisor",
+    "sparql_request",
     # workloads
     "Workload",
     "generate_yago",

@@ -1,0 +1,191 @@
+"""Minimal SPARQL-protocol HTTP client helpers (stdlib ``urllib`` only).
+
+Used by the benchmarks, the fault-injection suite, and the examples; also a
+reasonable starting point for real callers.  Two layers:
+
+* :func:`sparql_request` — one request against one endpoint, returning the
+  raw :class:`EndpointResponse` whatever the status (4xx/5xx bodies carry
+  the machine-readable error JSON, so they are data, not exceptions).
+  Transport-level failures (connection refused/reset, a worker killed
+  mid-response) *do* raise — the caller decides whether to retry.
+* :class:`EndpointPool` — round-robin over several worker endpoints with
+  bounded retry on transport errors and on ``503`` shed responses.  This is
+  the client discipline the multi-process fault tests pin: a killed worker
+  costs a clean error or a retried success on a surviving worker, never a
+  hang (every request carries a timeout).
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.endpoint.protocol import RESULTS_JSON
+from repro.endpoint.server import GENERATION_HEADER
+
+__all__ = ["EndpointResponse", "TransportError", "sparql_request", "EndpointPool"]
+
+#: Exceptions that mean "the endpoint did not answer this request" (and a
+#: retry against another replica is sound): the socket died, the connection
+#: was refused, or the response was cut off mid-flight.
+TransportError = (urllib.error.URLError, http.client.HTTPException, ConnectionError, TimeoutError)
+
+
+@dataclass
+class EndpointResponse:
+    """One HTTP exchange: status, lower-cased headers, raw body bytes."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "")
+
+    @property
+    def generation(self) -> int:
+        """The stamped store generation, or ``-1`` when absent."""
+        return int(self.headers.get(GENERATION_HEADER.lower(), "-1"))
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+
+def _exchange(request: urllib.request.Request, timeout: float) -> EndpointResponse:
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return EndpointResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.headers.items()},
+                body=response.read(),
+            )
+    except urllib.error.HTTPError as exc:
+        # 4xx/5xx: a real response with an error body — surface it as data.
+        with exc:
+            return EndpointResponse(
+                status=exc.code,
+                headers={k.lower(): v for k, v in exc.headers.items()},
+                body=exc.read(),
+            )
+
+
+def sparql_request(
+    base_url: str,
+    query: str,
+    *,
+    method: str = "GET",
+    post_form: bool = True,
+    accept: Optional[str] = RESULTS_JSON,
+    timeout: float = 30.0,
+) -> EndpointResponse:
+    """One SPARQL-protocol request against ``base_url``.
+
+    ``method="GET"`` URL-encodes the query; ``method="POST"`` sends either a
+    form-encoded body (``post_form=True``, the default) or a direct
+    ``application/sparql-query`` body.  Pass ``accept=None`` to omit the
+    ``Accept`` header entirely.
+    """
+    headers: Dict[str, str] = {}
+    if accept is not None:
+        headers["Accept"] = accept
+    if method == "GET":
+        url = f"{base_url}/sparql?{urllib.parse.urlencode({'query': query})}"
+        request = urllib.request.Request(url, headers=headers, method="GET")
+    elif method == "POST":
+        if post_form:
+            body = urllib.parse.urlencode({"query": query}).encode("utf-8")
+            headers["Content-Type"] = "application/x-www-form-urlencoded"
+        else:
+            body = query.encode("utf-8")
+            headers["Content-Type"] = "application/sparql-query"
+        request = urllib.request.Request(
+            f"{base_url}/sparql", data=body, headers=headers, method="POST"
+        )
+    else:
+        raise ValueError(f"unsupported method {method!r}; use GET or POST")
+    return _exchange(request, timeout)
+
+
+def fetch_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
+    """GET a JSON control endpoint (``/healthz`` or ``/metrics``)."""
+    request = urllib.request.Request(f"{base_url}{path}", method="GET")
+    response = _exchange(request, timeout)
+    return response.json()
+
+
+class EndpointPool:
+    """Round-robin client over several endpoint replicas, with bounded retry.
+
+    Transport errors (dead worker, reset connection) and ``503`` sheds are
+    retried against the next replica, up to ``max_attempts`` total tries per
+    query; anything else — including 4xx protocol errors — is returned
+    as-is.  Thread-safe: benchmark client threads share one pool.
+    """
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        *,
+        timeout: float = 30.0,
+        max_attempts: Optional[int] = None,
+        retry_backoff_seconds: float = 0.05,
+    ):
+        if not urls:
+            raise ValueError("EndpointPool needs at least one endpoint URL")
+        self.urls = list(urls)
+        self.timeout = timeout
+        self.max_attempts = max_attempts if max_attempts is not None else 2 * len(self.urls)
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self._cursor = itertools.count()
+        self._lock = threading.Lock()
+        #: Cumulative transport-level failures that were retried.
+        self.transport_retries = 0
+        #: Cumulative 503 shed responses that were retried.
+        self.shed_retries = 0
+
+    def _next_url(self) -> str:
+        return self.urls[next(self._cursor) % len(self.urls)]
+
+    def query(self, query: str, **request_kwargs) -> EndpointResponse:
+        """Issue one query, retrying across replicas; returns the response.
+
+        Raises the last transport error if every attempt failed to reach an
+        endpoint, and returns the last ``503`` if every attempt was shed.
+        """
+        last_response: Optional[EndpointResponse] = None
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            url = self._next_url()
+            try:
+                response = sparql_request(url, query, timeout=self.timeout, **request_kwargs)
+            except TransportError as exc:
+                last_error = exc
+                with self._lock:
+                    self.transport_retries += 1
+                continue
+            if response.status == 503:
+                last_response = response
+                with self._lock:
+                    self.shed_retries += 1
+                if attempt + 1 < self.max_attempts:
+                    time.sleep(min(response.retry_after or 0.0, self.retry_backoff_seconds))
+                continue
+            return response
+        if last_response is not None:
+            return last_response
+        assert last_error is not None
+        raise last_error

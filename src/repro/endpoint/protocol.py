@@ -1,0 +1,229 @@
+"""SPARQL 1.1 Protocol codec: request parsing and result serialization.
+
+The wire format the endpoint speaks is deliberately the standard one so any
+SPARQL client can talk to it:
+
+* **Requests** (`SPARQL 1.1 Protocol`_): ``GET /sparql?query=...`` with the
+  query URL-encoded, ``POST /sparql`` with an
+  ``application/x-www-form-urlencoded`` body carrying ``query=...``, or
+  ``POST /sparql`` with the bare query text as an
+  ``application/sparql-query`` body.
+* **Responses** (`SPARQL 1.1 Query Results JSON Format`_):
+  ``application/sparql-results+json`` documents of the shape
+  ``{"head": {"vars": [...]}, "results": {"bindings": [...]}}`` where every
+  bound term is rendered as a typed JSON object (``uri`` / ``literal`` with
+  optional ``xml:lang`` or ``datatype`` / ``bnode``).
+* **Errors**: machine-readable JSON bodies
+  ``{"error": {"code": ..., "message": ...}}`` carried on the appropriate
+  4xx/5xx status, so clients never have to scrape HTML error pages.
+
+Everything here is pure functions over bytes and :class:`ExecutionResult`
+objects — no sockets — so the protocol conformance suite can pin the encoder
+byte-for-byte against direct :class:`~repro.serve.service.QueryService`
+results, and the HTTP layer (:mod:`repro.endpoint.server`) stays a thin
+transport.
+
+.. _SPARQL 1.1 Protocol: https://www.w3.org/TR/sparql11-protocol/
+.. _SPARQL 1.1 Query Results JSON Format: https://www.w3.org/TR/sparql11-results-json/
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.errors import ReproError
+from repro.execution import ExecutionResult
+from repro.rdf.terms import BlankNode, IRI, Literal, TermLike, XSD_STRING
+
+__all__ = [
+    "RESULTS_JSON",
+    "ERROR_JSON",
+    "ProtocolError",
+    "term_to_json",
+    "results_to_json",
+    "encode_results",
+    "encode_error",
+    "negotiate_accept",
+    "query_from_get",
+    "query_from_post",
+]
+
+#: The response media type of every successful query answer.
+RESULTS_JSON = "application/sparql-results+json"
+#: Error bodies are plain JSON (they are not result sets).
+ERROR_JSON = "application/json"
+
+#: Media types a client may list in ``Accept`` and still receive
+#: :data:`RESULTS_JSON` (the JSON results format *is* JSON, and wildcard
+#: ranges delegate the choice to the server).
+_ACCEPTABLE = {
+    RESULTS_JSON,
+    "application/json",
+    "application/*",
+    "*/*",
+}
+
+_FORM_URLENCODED = "application/x-www-form-urlencoded"
+_SPARQL_QUERY = "application/sparql-query"
+
+
+class ProtocolError(ReproError):
+    """A request violated the SPARQL protocol (client error, 4xx).
+
+    Carries everything the HTTP layer needs to render the response: the
+    status code, a stable machine-readable ``code`` slug for the JSON error
+    body, and the human-readable message.
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+# --------------------------------------------------------------------------- #
+# Result serialization
+# --------------------------------------------------------------------------- #
+def term_to_json(term: TermLike) -> Dict[str, str]:
+    """One bound term as a SPARQL-results-JSON term object."""
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, Literal):
+        obj = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            obj["xml:lang"] = term.language
+        elif term.datatype and term.datatype != XSD_STRING:
+            obj["datatype"] = term.datatype
+        return obj
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    raise ProtocolError(  # pragma: no cover - executor never binds variables
+        500, "unencodable-term", f"cannot serialize term of kind {term.kind!r}"
+    )
+
+
+def results_to_json(result: ExecutionResult) -> Dict[str, object]:
+    """The results-JSON document for one execution, as plain dicts.
+
+    Binding keys are emitted in the projection order (``result.variables``),
+    not dict-insertion order, so the document is deterministic for a given
+    solution sequence no matter how the executor assembled its binding dicts.
+    """
+    variables = list(result.variables)
+    bindings: List[Dict[str, Dict[str, str]]] = []
+    for binding in result.bindings:
+        bindings.append(
+            {name: term_to_json(binding[name]) for name in variables if name in binding}
+        )
+    return {"head": {"vars": variables}, "results": {"bindings": bindings}}
+
+
+def encode_results(result: ExecutionResult) -> bytes:
+    """The canonical wire bytes of one execution's results.
+
+    This is the single serialization both the live endpoint and the
+    conformance tests use, so "byte-identical to a direct
+    ``QueryService`` answer" is checkable with ``==`` on bytes.
+    """
+    return json.dumps(results_to_json(result), separators=(",", ":")).encode("utf-8")
+
+
+def encode_error(code: str, message: str, **extra) -> bytes:
+    """A machine-readable error body: ``{"error": {"code", "message", ...}}``."""
+    payload: Dict[str, object] = {"code": code, "message": message}
+    for key, value in extra.items():
+        if value is not None:
+            payload[key] = value
+    return json.dumps({"error": payload}, separators=(",", ":")).encode("utf-8")
+
+
+# --------------------------------------------------------------------------- #
+# Request parsing
+# --------------------------------------------------------------------------- #
+def _media_type(header: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``type/subtype; key=value; ...`` into the type and its params."""
+    parts = header.split(";")
+    params: Dict[str, str] = {}
+    for raw in parts[1:]:
+        if "=" in raw:
+            key, value = raw.split("=", 1)
+            params[key.strip().lower()] = value.strip().strip('"')
+    return parts[0].strip().lower(), params
+
+
+def negotiate_accept(header: Optional[str]) -> str:
+    """Check an ``Accept`` header and return the response media type.
+
+    The endpoint produces exactly one representation (:data:`RESULTS_JSON`),
+    so negotiation reduces to: is that type — or plain JSON, or a wildcard —
+    in the client's list?  A missing header means "anything".  Raises a 406
+    :class:`ProtocolError` otherwise.
+    """
+    if header is None or not header.strip():
+        return RESULTS_JSON
+    for entry in header.split(","):
+        media, _params = _media_type(entry)
+        if media in _ACCEPTABLE:
+            return RESULTS_JSON
+    raise ProtocolError(
+        406,
+        "not-acceptable",
+        f"this endpoint only produces {RESULTS_JSON}; "
+        f"the Accept header {header!r} excludes it",
+    )
+
+
+def _single_query_param(params: Dict[str, List[str]], where: str) -> str:
+    values = params.get("query", [])
+    if not values:
+        raise ProtocolError(
+            400, "missing-query", f"no 'query' parameter in the {where}"
+        )
+    if len(values) > 1:
+        raise ProtocolError(
+            400, "duplicate-query", f"multiple 'query' parameters in the {where}"
+        )
+    query = values[0]
+    if not query.strip():
+        raise ProtocolError(400, "missing-query", f"empty 'query' parameter in the {where}")
+    return query
+
+
+def query_from_get(query_string: str) -> str:
+    """Extract the query text from a ``GET /sparql?query=...`` URL."""
+    return _single_query_param(parse_qs(query_string), "query string")
+
+
+def query_from_post(content_type: Optional[str], body: bytes) -> str:
+    """Extract the query text from a ``POST /sparql`` body.
+
+    Supports both protocol-mandated request forms: URL-encoded form
+    parameters and the direct ``application/sparql-query`` body.  Anything
+    else is a 415 (the protocol's "unsupported media type" case, not a 400:
+    the request may be perfectly well-formed for a media type this endpoint
+    simply does not consume).
+    """
+    if content_type is None or not content_type.strip():
+        raise ProtocolError(
+            415, "missing-content-type", "POST requires a Content-Type header"
+        )
+    media, params = _media_type(content_type)
+    charset = params.get("charset", "utf-8")
+    try:
+        text = body.decode(charset)
+    except (LookupError, UnicodeDecodeError) as exc:
+        raise ProtocolError(400, "undecodable-body", f"cannot decode request body: {exc}")
+    if media == _FORM_URLENCODED:
+        return _single_query_param(parse_qs(text), "form body")
+    if media == _SPARQL_QUERY:
+        if not text.strip():
+            raise ProtocolError(400, "missing-query", "empty application/sparql-query body")
+        return text
+    raise ProtocolError(
+        415,
+        "unsupported-media-type",
+        f"POST bodies must be {_FORM_URLENCODED} or {_SPARQL_QUERY}, not {media!r}",
+    )

@@ -1,0 +1,413 @@
+"""Multi-process snapshot-replicated serving: worker processes + supervisor.
+
+The GIL caps a single Python process at one core of query execution however
+many threads serve it.  The multi-process mode sidesteps it with the
+leader/follower design the ROADMAP calls for, using :mod:`repro.persist`
+snapshots as the replication primitive:
+
+* a **leader** process owns the mutable store — inserts, tuning epochs — and
+  *publishes* each new state as a committed snapshot generation (any
+  ``QueryService`` with a :class:`~repro.persist.SnapshotPolicy`, or explicit
+  ``checkpoint()`` calls, is a leader; there is no special class);
+* N **read-only worker** processes each restore the committed snapshot,
+  serve it through their own :class:`~repro.endpoint.server.SparqlEndpoint`,
+  and follow the root's ``CURRENT`` pointer with a
+  :class:`~repro.persist.SnapshotWatcher` — when the leader commits a new
+  generation a worker restores it *beside* the serving store and atomically
+  swaps it in (:meth:`SparqlEndpoint.swap_service`), so no request ever sees
+  a half-loaded store and response generation stamps stay monotonic.
+
+The worker is a real OS process with a CLI (``python -m
+repro.endpoint.worker --root SNAPROOT ...``) so the fleet can be supervised
+by anything; :class:`WorkerSupervisor` is the in-tree supervisor the
+benchmarks and fault tests use — it spawns workers as subprocesses, collects
+their *announce files* (atomic JSON drops carrying pid/port/generation),
+waits for readiness, and can kill/restart individual workers to exercise the
+fault paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.endpoint.server import EndpointConfig, SparqlEndpoint
+from repro.errors import SnapshotError
+from repro.persist.snapshot import load_snapshot
+from repro.persist.watch import SnapshotWatcher
+from repro.serve.service import QueryService, ServiceConfig
+
+__all__ = ["WorkerOptions", "run_worker", "WorkerSupervisor"]
+
+#: Where the source tree lives, for PYTHONPATH propagation to subprocesses.
+_SRC_ROOT = Path(__file__).resolve().parents[2]
+
+DEFAULT_POLL_INTERVAL = 0.25
+
+
+class WorkerOptions:
+    """Parsed configuration of one worker process (CLI-mirrored)."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        announce: Optional[Union[str, Path]] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        max_inflight: int = 8,
+        queue_depth: int = 16,
+        admission_timeout: float = 2.0,
+        cache_results: bool = True,
+        test_delay_seconds: float = 0.0,
+    ):
+        self.root = Path(root)
+        self.host = host
+        self.port = port
+        self.announce = Path(announce) if announce is not None else None
+        self.poll_interval = poll_interval
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.admission_timeout = admission_timeout
+        self.cache_results = cache_results
+        self.test_delay_seconds = test_delay_seconds
+
+
+def _worker_service(restored, cache_results: bool = True) -> QueryService:
+    # Workers serve read-only: no adaptive tuning, no snapshot policy, and
+    # inline execution (the HTTP layer already gives each request its own
+    # thread, so a batch pool inside the worker would only add queueing).
+    # ``cache_results=False`` is the benchmark mode: measured QPS must be
+    # store throughput, not result-cache hit throughput.
+    return QueryService(restored.dual, ServiceConfig(max_workers=1, cache_results=cache_results))
+
+
+def _write_announce(path: Path, payload: Dict[str, object]) -> None:
+    """Atomic JSON drop: the supervisor may read it at any moment."""
+    tmp = path.with_name(f".{path.name}.tmp-{uuid.uuid4().hex[:8]}")
+    tmp.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def run_worker(options: WorkerOptions, stop: Optional[threading.Event] = None) -> None:
+    """Boot one worker: restore, serve, follow the snapshot root until told
+    to stop (``SIGTERM``/``SIGINT`` or the ``stop`` event)."""
+    stop = stop or threading.Event()
+    try:  # pragma: no branch - signal wiring only works in the main thread
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+    except ValueError:  # started from a non-main thread (tests)
+        pass
+
+    restored = load_snapshot(options.root)
+    service = _worker_service(restored, options.cache_results)
+    before_execute = None
+    if options.test_delay_seconds > 0:
+        # Fault-injection layer: stretch every request so the harness can
+        # kill this worker mid-flight deterministically.
+        before_execute = lambda _query: time.sleep(options.test_delay_seconds)  # noqa: E731
+    endpoint = SparqlEndpoint(
+        service,
+        EndpointConfig(
+            host=options.host,
+            port=options.port,
+            max_inflight=options.max_inflight,
+            queue_depth=options.queue_depth,
+            admission_timeout_seconds=options.admission_timeout,
+            role="worker",
+        ),
+        before_execute=before_execute,
+    )
+    endpoint.start()
+    watcher = SnapshotWatcher(options.root, seen=restored.manifest.name)
+    generation = restored.dual.generation
+
+    def announce() -> None:
+        if options.announce is not None:
+            _write_announce(
+                options.announce,
+                {
+                    "pid": os.getpid(),
+                    "port": endpoint.port,
+                    "generation": generation,
+                    "reloads": endpoint.reloads,
+                },
+            )
+
+    announce()
+    try:
+        while not stop.wait(options.poll_interval):
+            try:
+                newer = watcher.load_if_newer()
+            except SnapshotError as exc:
+                print(f"worker {os.getpid()}: reload failed: {exc}", file=sys.stderr)
+                continue
+            if newer is None:
+                continue
+            if newer.dual.generation <= generation:
+                continue  # never regress, whatever the root says
+            endpoint.swap_service(_worker_service(newer, options.cache_results))
+            generation = newer.dual.generation
+            announce()
+    finally:
+        endpoint.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.endpoint.worker",
+        description="Read-only snapshot-replicated SPARQL endpoint worker.",
+    )
+    parser.add_argument("--root", required=True, help="snapshot root directory to follow")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
+    parser.add_argument("--announce", default=None, help="file to write pid/port/generation JSON to")
+    parser.add_argument("--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL)
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--admission-timeout", type=float, default=2.0)
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="re-execute every request (benchmark mode: measure store QPS, not cache QPS)",
+    )
+    parser.add_argument(
+        "--test-delay-seconds",
+        type=float,
+        default=0.0,
+        help="fault-injection: sleep this long inside every request's execution slot",
+    )
+    args = parser.parse_args(argv)
+    run_worker(
+        WorkerOptions(
+            args.root,
+            host=args.host,
+            port=args.port,
+            announce=args.announce,
+            poll_interval=args.poll_interval,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            admission_timeout=args.admission_timeout,
+            cache_results=not args.no_result_cache,
+            test_delay_seconds=args.test_delay_seconds,
+        )
+    )
+
+
+class WorkerSupervisor:
+    """Spawn, watch, kill, and restart a fleet of worker subprocesses.
+
+    Each worker is a real OS process (``sys.executable -m
+    repro.endpoint.worker``) following the same snapshot root, so N workers
+    execute queries on N cores.  Readiness and liveness flow through the
+    announce files; stderr of each worker lands in ``run_dir/worker-<i>.log``
+    for post-mortems.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        max_inflight: int = 8,
+        queue_depth: int = 16,
+        admission_timeout: float = 2.0,
+        cache_results: bool = True,
+        test_delay_seconds: float = 0.0,
+        run_dir: Optional[Union[str, Path]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.root = Path(root)
+        self.count = workers
+        self.host = host
+        self.poll_interval = poll_interval
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.admission_timeout = admission_timeout
+        self.cache_results = cache_results
+        self.test_delay_seconds = test_delay_seconds
+        self._owns_run_dir = run_dir is None
+        self.run_dir = (
+            Path(tempfile.mkdtemp(prefix="repro-workers-")) if run_dir is None else Path(run_dir)
+        )
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._procs: Dict[int, subprocess.Popen] = {}
+        self._logs: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _announce_path(self, index: int) -> Path:
+        return self.run_dir / f"worker-{index}.json"
+
+    def _spawn(self, index: int) -> None:
+        announce = self._announce_path(index)
+        announce.unlink(missing_ok=True)
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.endpoint.worker",
+            "--root",
+            str(self.root),
+            "--host",
+            self.host,
+            "--announce",
+            str(announce),
+            "--poll-interval",
+            str(self.poll_interval),
+            "--max-inflight",
+            str(self.max_inflight),
+            "--queue-depth",
+            str(self.queue_depth),
+            "--admission-timeout",
+            str(self.admission_timeout),
+        ]
+        if not self.cache_results:
+            cmd.append("--no-result-cache")
+        if self.test_delay_seconds > 0:
+            cmd.extend(["--test-delay-seconds", str(self.test_delay_seconds)])
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            str(_SRC_ROOT) if not existing else f"{_SRC_ROOT}{os.pathsep}{existing}"
+        )
+        log = open(self.run_dir / f"worker-{index}.log", "ab")
+        self._logs[index] = log
+        self._procs[index] = subprocess.Popen(
+            cmd, stdout=log, stderr=log, env=env, cwd=str(self.run_dir)
+        )
+
+    def start(self) -> "WorkerSupervisor":
+        for index in range(self.count):
+            self._spawn(index)
+        return self
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Readiness and observation
+    # ------------------------------------------------------------------ #
+    def announce(self, index: int) -> Optional[dict]:
+        """The worker's latest announce payload, or ``None`` if unreadable."""
+        try:
+            return json.loads(self._announce_path(index).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def wait_ready(self, timeout: float = 60.0) -> "WorkerSupervisor":
+        """Block until every worker announced a port; raises on worker death
+        or timeout (with the dead worker's log tail for the post-mortem)."""
+        deadline = time.monotonic() + timeout
+        for index, proc in self._procs.items():
+            while self.announce(index) is None:
+                if proc.poll() is not None:
+                    raise RuntimeError(
+                        f"worker {index} exited with {proc.returncode} before becoming "
+                        f"ready:\n{self._log_tail(index)}"
+                    )
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(f"worker {index} not ready within {timeout:.0f}s")
+                time.sleep(0.02)
+        return self
+
+    def _log_tail(self, index: int, lines: int = 20) -> str:
+        try:
+            text = (self.run_dir / f"worker-{index}.log").read_text(encoding="utf-8")
+        except OSError:
+            return "<no log>"
+        return "\n".join(text.splitlines()[-lines:])
+
+    def url(self, index: int) -> str:
+        info = self.announce(index)
+        if info is None:
+            raise RuntimeError(f"worker {index} has not announced a port yet")
+        return f"http://{self.host}:{info['port']}"
+
+    @property
+    def urls(self) -> List[str]:
+        return [self.url(index) for index in sorted(self._procs)]
+
+    def generation(self, index: int) -> Optional[int]:
+        info = self.announce(index)
+        return None if info is None else int(info["generation"])
+
+    def wait_generation(self, generation: int, timeout: float = 30.0) -> "WorkerSupervisor":
+        """Block until every live worker announces ``generation`` or newer —
+        i.e. the leader's commit has been hot-reloaded fleet-wide."""
+        deadline = time.monotonic() + timeout
+        for index in self._procs:
+            while True:
+                seen = self.generation(index)
+                if seen is not None and seen >= generation:
+                    break
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"worker {index} still at generation {seen} (< {generation}) "
+                        f"after {timeout:.0f}s"
+                    )
+                time.sleep(0.02)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Fault injection and shutdown
+    # ------------------------------------------------------------------ #
+    def kill(self, index: int) -> None:
+        """SIGKILL one worker — the hard-death fault mode (no cleanup runs,
+        sockets drop mid-request)."""
+        proc = self._procs[index]
+        proc.kill()
+        proc.wait(timeout=10)
+
+    def restart(self, index: int) -> None:
+        """Replace one worker (killing it first if still alive)."""
+        proc = self._procs.get(index)
+        if proc is not None and proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=10)
+        self._close_log(index)
+        self._spawn(index)
+
+    def _close_log(self, index: int) -> None:
+        log = self._logs.pop(index, None)
+        if log is not None:
+            log.close()  # type: ignore[attr-defined]
+
+    def stop(self) -> None:
+        """Terminate the fleet (escalating to SIGKILL) and clean up."""
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for index, proc in list(self._procs.items()):
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.wait(timeout=5)
+            self._close_log(index)
+        self._procs.clear()
+        if self._owns_run_dir:
+            import shutil
+
+            shutil.rmtree(self.run_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,12 @@ directory populated and fsynced before being renamed into place, and a
 A crash at any moment leaves either the previous complete snapshot or a
 loud :class:`~repro.errors.SnapshotError` — never a half-loaded store.
 See ``docs/architecture.md`` §7 for the format.
+
+Snapshots are also the system's **replication primitive**: commits are
+generation-monotonic, so read-only follower processes can track a root's
+``CURRENT`` pointer with a :class:`SnapshotWatcher` and hot-reload each new
+generation the leader publishes — the multi-process serving mode of
+:mod:`repro.endpoint.worker` (``docs/architecture.md`` §8).
 """
 
 from repro.persist.snapshot import (
@@ -34,8 +40,10 @@ from repro.persist.snapshot import (
     read_manifest,
     write_snapshot,
 )
+from repro.persist.watch import SnapshotWatcher
 
 __all__ = [
+    "SnapshotWatcher",
     "FORMAT_VERSION",
     "CapturedSnapshot",
     "RestoredSnapshot",

@@ -64,13 +64,25 @@ class ServiceCounters:
         Checkpoint commits that failed.  Policy-triggered failures are
         recorded here (and in ``QueryService.last_snapshot_error``) instead
         of raising out of the mutation that triggered them.
+    endpoint_requests:
+        HTTP requests the SPARQL endpoint *admitted* into an execution slot
+        (:mod:`repro.endpoint.server`).  **Mirrored gauge**: the endpoint's
+        admission gate owns the cumulative total (it survives worker
+        hot-reloads) and copies it in by assignment via
+        :meth:`QueryService.record_endpoint`.
+    shed_load:
+        HTTP requests the endpoint shed with ``503`` + ``Retry-After``
+        because the bounded admission queue was full (or the queued wait
+        timed out).  **Mirrored gauge**, same discipline as
+        ``endpoint_requests`` — the fault suite asserts this total matches
+        the client-observed 503s exactly.
     """
 
     #: Fields the service mirrors *by assignment* from another cumulative
     #: counter instead of incrementing itself.  Two snapshots of one service
     #: both carry the full running total, so ``merge``/``add`` must take the
     #: max of these fields — summing would double-count every shared event.
-    MIRRORED_GAUGES = frozenset({"stale_rejections"})
+    MIRRORED_GAUGES = frozenset({"stale_rejections", "endpoint_requests", "shed_load"})
 
     queries_served: int = 0
     batches_served: int = 0
@@ -85,6 +97,8 @@ class ServiceCounters:
     stale_rejections: int = 0
     snapshots_taken: int = 0
     snapshot_failures: int = 0
+    endpoint_requests: int = 0
+    shed_load: int = 0
 
     def merge(self, other: "ServiceCounters") -> "ServiceCounters":
         """Return a new counter object with both contributions combined
@@ -183,7 +197,15 @@ class LatencyDigest:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (q in [0, 100]) via nearest-rank over the
-        retained samples (exact while ``count <= capacity``)."""
+        retained samples (exact while ``count <= capacity``).
+
+        Defined on every digest state, including the edges: an empty digest
+        answers ``0.0`` for any ``q`` (there is no latency mass to report —
+        never an exception), a single-observation digest answers that one
+        observation for every ``q``, and ``p0``/``p100`` clamp to the
+        smallest/largest retained sample rather than indexing off either end
+        of the reservoir.
+        """
         return self._rank_in(sorted(self._samples), q)
 
     @staticmethod
@@ -191,9 +213,14 @@ class LatencyDigest:
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         if not ordered:
-            return 0.0
-        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-        return ordered[min(rank, len(ordered)) - 1]
+            return 0.0  # an empty digest has a defined (zero) percentile
+        if len(ordered) == 1:
+            return ordered[0]  # every percentile of one observation is it
+        # Nearest rank, clamped to [1, n]: q=0 maps to the minimum instead
+        # of ``ordered[-1]`` (rank 0 would wrap) and q=100 to the maximum
+        # instead of one past the end.
+        rank = min(len(ordered), max(1, math.ceil(q / 100.0 * len(ordered))))
+        return ordered[rank - 1]
 
     @property
     def p50(self) -> float:
@@ -203,13 +230,18 @@ class LatencyDigest:
     def p95(self) -> float:
         return self.percentile(95.0)
 
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
     def as_dict(self) -> Dict[str, float]:
-        ordered = sorted(self._samples)  # one sort serves both percentiles
+        ordered = sorted(self._samples)  # one sort serves all percentiles
         return {
             "count": float(self.count),
             "mean": self.mean,
             "p50": self._rank_in(ordered, 50.0),
             "p95": self._rank_in(ordered, 95.0),
+            "p99": self._rank_in(ordered, 99.0),
             "total": self.total,
         }
 

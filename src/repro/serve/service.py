@@ -512,6 +512,21 @@ class QueryService:
         with self._gate.write_locked():
             yield
 
+    def record_endpoint(self, *, requests: int, shed: int) -> None:
+        """Mirror the HTTP endpoint's cumulative admission accounting.
+
+        The admission gate (:class:`repro.endpoint.server.AdmissionGate`)
+        owns the running totals — it outlives worker hot-reloads that replace
+        the service — so these are **assigned**, not incremented, exactly
+        like the result cache's ``stale_rejections`` (see
+        :attr:`~repro.serve.metrics.ServiceCounters.MIRRORED_GAUGES`).  One
+        ``metrics.snapshot()`` then covers the whole serving stack, wire to
+        store.
+        """
+        with self._metrics_lock:
+            self.metrics.counters.endpoint_requests = requests
+            self.metrics.counters.shed_load = shed
+
     def _on_mutation(self, generation: int) -> None:
         dropped = self.result_cache.invalidate_all()
         with self._metrics_lock:

@@ -10,9 +10,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import DualStore
+from repro.endpoint import EndpointConfig, SparqlEndpoint
 from repro.rdf import IRI, Literal, Triple, TripleSet, YAGO
+from repro.serve import QueryService, ServiceConfig
 from repro.sparql import parse_query
 from repro.workload import generate_yago, yago_workload
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-process / wall-clock-heavy tests (deselect with '-m \"not slow\"')",
+    )
 
 
 def _binding_fingerprint(result):
@@ -131,3 +141,57 @@ def yago_dataset():
 @pytest.fixture(scope="session")
 def yago_queries(yago_dataset):
     return yago_workload(yago_dataset, seed=13)
+
+
+# --------------------------------------------------------------------------- #
+# Live HTTP endpoint (SPARQL protocol suites)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def endpoint_dataset():
+    """A smaller dataset than ``yago_dataset`` — endpoint tests pay HTTP
+    round-trips per query, so they keep the store cheap to build and probe."""
+    return generate_yago(900, seed=11)
+
+
+@pytest.fixture(scope="session")
+def endpoint_workload(endpoint_dataset):
+    return yago_workload(endpoint_dataset, seed=17)
+
+
+@pytest.fixture
+def endpoint_factory(endpoint_dataset):
+    """Factory for live in-process endpoints on ephemeral ports.
+
+    Each call builds a fresh ``DualStore`` + ``QueryService`` + started
+    ``SparqlEndpoint`` and returns the ``(endpoint, service)`` pair; teardown
+    stops every endpoint and closes every service even when a test fails
+    mid-request.  Pass ``triples=...`` to serve hand-written data instead of
+    the shared synthetic dataset, and ``config=...`` to shape admission.
+    """
+    cleanups = []
+
+    def build(*, triples=None, config=None, service_config=None):
+        dual = DualStore().load(
+            triples if triples is not None else endpoint_dataset.triples
+        )
+        service = QueryService(
+            dual, service_config or ServiceConfig(max_workers=1)
+        )
+        endpoint = SparqlEndpoint(service, config or EndpointConfig())
+        endpoint.start()
+        cleanups.append((endpoint, service))
+        return endpoint, service
+
+    yield build
+    for endpoint, service in reversed(cleanups):
+        try:
+            endpoint.stop()
+        finally:
+            service.close()
+
+
+@pytest.fixture
+def live_endpoint(endpoint_factory):
+    """A started endpoint over the shared synthetic dataset, with its
+    backing service (for pinning wire bytes against direct answers)."""
+    return endpoint_factory()

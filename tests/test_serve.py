@@ -386,6 +386,47 @@ class TestServiceMetrics:
         digest = LatencyDigest()
         assert digest.p50 == 0.0 and digest.p95 == 0.0 and digest.mean == 0.0
 
+    def test_empty_digest_every_percentile_defined(self):
+        """Regression: percentile() on count=0 must answer 0.0 at every q —
+        including the p0/p100 edges — never raise or index off the reservoir."""
+        digest = LatencyDigest()
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert digest.percentile(q) == 0.0
+        assert digest.p99 == 0.0
+        snapshot = digest.as_dict()
+        assert snapshot["count"] == 0.0
+        assert snapshot["p50"] == snapshot["p95"] == snapshot["p99"] == 0.0
+
+    def test_single_observation_every_percentile_is_it(self):
+        """Regression: count=1 answers the one observation for every q —
+        p0 must not wrap to ``ordered[-1]`` and p100 must not index past
+        the end (both are the same sample here, so pin the rank maths on a
+        two-sample digest too)."""
+        digest = LatencyDigest()
+        digest.observe(7.5)
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert digest.percentile(q) == 7.5
+        assert digest.count == 1
+        assert digest.as_dict()["p99"] == 7.5
+
+    def test_p0_and_p100_clamp_to_extremes(self):
+        digest = LatencyDigest()
+        for value in (4.0, 1.0, 3.0, 2.0):
+            digest.observe(value)
+        assert digest.percentile(0.0) == 1.0  # min, not a wrapped rank 0
+        assert digest.percentile(100.0) == 4.0  # max, not one past the end
+        with pytest.raises(ValueError):
+            digest.percentile(-0.5)
+        with pytest.raises(ValueError):
+            digest.percentile(100.5)
+
+    def test_p99_property_and_dict_agree(self):
+        digest = LatencyDigest()
+        for value in range(1, 101):
+            digest.observe(float(value))
+        assert digest.p99 == 99.0  # nearest rank: ceil(0.99 * 100) = 99
+        assert digest.as_dict()["p99"] == digest.p99
+
     def test_counters_merge_and_rates(self):
         a = ServiceCounters(result_cache_hits=3, result_cache_misses=1)
         b = ServiceCounters(result_cache_hits=1, plan_cache_misses=2)
@@ -394,6 +435,18 @@ class TestServiceMetrics:
         assert merged.result_cache_misses == 1
         assert merged.result_cache_hit_rate == pytest.approx(0.8)
         assert ServiceCounters().result_cache_hit_rate == 0.0
+
+    def test_endpoint_gauges_merge_as_max_not_sum(self):
+        """endpoint_requests/shed_load are mirrored by assignment from the
+        admission gate, so two snapshots of one endpoint both carry the full
+        total — merging must take the max, like stale_rejections."""
+        before = ServiceCounters(endpoint_requests=10, shed_load=2, executions=4)
+        after = ServiceCounters(endpoint_requests=25, shed_load=3, executions=6)
+        merged = before.merge(after)
+        assert merged.endpoint_requests == 25
+        assert merged.shed_load == 3
+        assert merged.executions == 10  # ordinary counters still sum
+        assert {"endpoint_requests", "shed_load"} <= ServiceCounters.MIRRORED_GAUGES
 
     def test_service_snapshot_after_traffic(self, service, dataset):
         workload = yago_workload(dataset)
