@@ -81,11 +81,14 @@ from repro.endpoint import (
 )
 from repro.graphstore import GraphStore, PropertyGraph
 from repro.persist import (
+    DeltaLog,
     SnapshotManifest,
     SnapshotPolicy,
     SnapshotWatcher,
+    WalTailer,
     load_snapshot,
     read_manifest,
+    restore_with_log,
 )
 from repro.rdf import IRI, Literal, TripleSet, Triple, Variable
 from repro.relstore import (
@@ -179,11 +182,14 @@ __all__ = [
     "TuningDaemon",
     "WorkloadWindow",
     # persistence
+    "DeltaLog",
     "SnapshotManifest",
     "SnapshotPolicy",
     "SnapshotWatcher",
+    "WalTailer",
     "load_snapshot",
     "read_manifest",
+    "restore_with_log",
     # endpoint (network-facing serving)
     "EndpointConfig",
     "EndpointPool",

@@ -24,6 +24,7 @@ from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.cost.resources import ResourceThrottle
 from repro.errors import StorageBudgetExceeded, TuningError
 from repro.execution import ExecutionResult
+from repro.rdf.dictionary import term_to_payload
 from repro.rdf.graph import TripleSet
 from repro.rdf.terms import IRI, Triple
 from repro.relstore.backend import RelationalBackend
@@ -40,6 +41,16 @@ from repro.core.partitions import DualStoreDesign
 from repro.core.processor import ProcessedQuery, QueryProcessor
 
 __all__ = ["DualStore", "MoveReceipt"]
+
+
+def _triple_payload(triple: Triple) -> list:
+    """The JSON op encoding of one triple, shared with the delta log's
+    reader (:func:`repro.persist.wal.triple_from_payload`)."""
+    return [
+        term_to_payload(triple.subject),
+        term_to_payload(triple.predicate),
+        term_to_payload(triple.object),
+    ]
 
 
 @dataclass
@@ -129,6 +140,14 @@ class DualStore:
         #: never return a result that predates a mutation.
         self.generation: int = 0
         self._invalidation_hooks: List[Callable[[int], None]] = []
+        #: Mutation listeners receive the *content* of each generation bump —
+        #: the ordered op payloads that produced it — before the invalidation
+        #: hooks fire.  This is the seam the write-ahead delta log
+        #: (:mod:`repro.persist.wal`) attaches to; op payloads are only
+        #: collected while at least one listener is registered, so the
+        #: listener-free path stays allocation-free and streaming.
+        self._mutation_listeners: List[Callable[[List[dict], int], None]] = []
+        self._pending_ops: List[dict] = []
         # Batched-mutation state (see batch_mutations): while the depth is
         # positive, generation bumps are coalesced into one fired at exit.
         self._batch_depth: int = 0
@@ -146,11 +165,37 @@ class DualStore:
     def remove_invalidation_hook(self, hook: Callable[[int], None]) -> None:
         self._invalidation_hooks.remove(hook)
 
+    def add_mutation_listener(self, listener: Callable[[List[dict], int], None]) -> None:
+        """Register a callback invoked with ``(ops, generation)`` after every
+        generation bump, *before* the invalidation hooks.  ``ops`` is the
+        ordered list of JSON-serializable op payloads the bump coalesced
+        (one per mutation inside a :meth:`batch_mutations` block, one total
+        otherwise); an empty list means the bump came from a mutation the op
+        vocabulary cannot represent (e.g. a re-``load``).  Listeners must not
+        raise — an exception would propagate out of the mutation that
+        committed successfully."""
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: Callable[[List[dict], int], None]) -> None:
+        self._mutation_listeners.remove(listener)
+
+    def _record_op(self, op: dict) -> None:
+        if self._mutation_listeners:
+            self._pending_ops.append(op)
+
     def _bump_generation(self) -> None:
         if self._batch_depth > 0:
             self._batched_bump_pending = True
             return
         self.generation += 1
+        if self._mutation_listeners:
+            ops, self._pending_ops = self._pending_ops, []
+            for listener in self._mutation_listeners:
+                listener(ops, self.generation)
+        elif self._pending_ops:
+            # The last listener detached mid-collection; drop the orphans so
+            # they cannot leak into a later listener's first event.
+            self._pending_ops = []
         for hook in self._invalidation_hooks:
             hook(self.generation)
 
@@ -204,11 +249,39 @@ class DualStore:
 
     def insert(self, triples: Iterable[Triple]) -> float:
         """Insert new knowledge (goes to the relational master copy only)."""
+        if self._mutation_listeners and not isinstance(triples, (list, tuple)):
+            triples = list(triples)  # the op payload needs a second pass
         seconds = self.relational.insert(triples)
         if self.design is not None:
             self.design.partition_sizes = self.relational.partition_sizes()
+        if self._mutation_listeners:
+            self._record_op({"op": "insert", "t": [_triple_payload(t) for t in triples]})
         self._bump_generation()
         return seconds
+
+    def delete(self, triples: Iterable[Triple]) -> int:
+        """Remove triples from the relational master copy; returns how many
+        were actually present and removed.
+
+        Symmetric with :meth:`insert`: the graph store's replicas are not
+        touched — a resident partition legitimately lags the master copy
+        until the tuner re-transfers it.  Deleting an absent triple is a
+        no-op for that triple, but the call still bumps the generation
+        (callers asked for a mutation; caches must not trust their entries).
+        """
+        self._require_loaded()
+        if not isinstance(triples, (list, tuple)):
+            triples = list(triples)
+        removed = 0
+        for triple in triples:
+            if self.relational.delete(triple):
+                removed += 1
+        if self.design is not None:
+            self.design.partition_sizes = self.relational.partition_sizes()
+        if self._mutation_listeners:
+            self._record_op({"op": "delete", "t": [_triple_payload(t) for t in triples]})
+        self._bump_generation()
+        return removed
 
     # ------------------------------------------------------------------ #
     # Online query processing
@@ -233,6 +306,7 @@ class DualStore:
         seconds = self.graph.load_partition(predicate, triples)
         self.design.mark_transferred(predicate)
         self.transfer_log.append(("transfer", predicate))
+        self._record_op({"op": "transfer", "p": predicate.value})
         self._bump_generation()
         return seconds
 
@@ -249,6 +323,7 @@ class DualStore:
         removed = self.graph.evict_partition(predicate)
         self.design.mark_evicted(predicate)
         self.transfer_log.append(("evict", predicate))
+        self._record_op({"op": "evict", "p": predicate.value})
         self._bump_generation()
         return self.cost_model.graph_evict_seconds(removed)
 

@@ -134,6 +134,14 @@ class EndpointPool:
     retried against the next replica, up to ``max_attempts`` total tries per
     query; anything else — including 4xx protocol errors — is returned
     as-is.  Thread-safe: benchmark client threads share one pool.
+
+    Retries back off: both transport errors and sheds sleep an exponential
+    backoff (``retry_backoff_seconds`` doubled per attempt, capped at
+    ``retry_backoff_cap_seconds``) before the next replica is tried, so a
+    dead replica cannot spin the client in a tight zero-sleep loop.  A
+    ``503``'s ``Retry-After`` hint *overrides* the computed backoff — the
+    server knows its queue — honored up to ``retry_after_cap_seconds`` (a
+    misconfigured or adversarial server must not stall the client forever).
     """
 
     def __init__(
@@ -143,6 +151,8 @@ class EndpointPool:
         timeout: float = 30.0,
         max_attempts: Optional[int] = None,
         retry_backoff_seconds: float = 0.05,
+        retry_backoff_cap_seconds: float = 1.0,
+        retry_after_cap_seconds: float = 5.0,
     ):
         if not urls:
             raise ValueError("EndpointPool needs at least one endpoint URL")
@@ -150,6 +160,8 @@ class EndpointPool:
         self.timeout = timeout
         self.max_attempts = max_attempts if max_attempts is not None else 2 * len(self.urls)
         self.retry_backoff_seconds = retry_backoff_seconds
+        self.retry_backoff_cap_seconds = retry_backoff_cap_seconds
+        self.retry_after_cap_seconds = retry_after_cap_seconds
         self._cursor = itertools.count()
         self._lock = threading.Lock()
         #: Cumulative transport-level failures that were retried.
@@ -160,11 +172,17 @@ class EndpointPool:
     def _next_url(self) -> str:
         return self.urls[next(self._cursor) % len(self.urls)]
 
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff for retry ``attempt`` (0-based), capped."""
+        return min(self.retry_backoff_seconds * (2**attempt), self.retry_backoff_cap_seconds)
+
     def query(self, query: str, **request_kwargs) -> EndpointResponse:
         """Issue one query, retrying across replicas; returns the response.
 
         Raises the last transport error if every attempt failed to reach an
         endpoint, and returns the last ``503`` if every attempt was shed.
+        No sleep follows the final attempt — the caller gets its answer (or
+        error) immediately once the budget is spent.
         """
         last_response: Optional[EndpointResponse] = None
         last_error: Optional[BaseException] = None
@@ -176,13 +194,19 @@ class EndpointPool:
                 last_error = exc
                 with self._lock:
                     self.transport_retries += 1
+                if attempt + 1 < self.max_attempts:
+                    time.sleep(self._backoff(attempt))
                 continue
             if response.status == 503:
                 last_response = response
                 with self._lock:
                     self.shed_retries += 1
                 if attempt + 1 < self.max_attempts:
-                    time.sleep(min(response.retry_after or 0.0, self.retry_backoff_seconds))
+                    hint = response.retry_after
+                    if hint is not None:
+                        time.sleep(min(max(hint, 0.0), self.retry_after_cap_seconds))
+                    else:
+                        time.sleep(self._backoff(attempt))
                 continue
             return response
         if last_response is not None:

@@ -17,6 +17,18 @@ snapshots as the replication primitive:
   swaps it in (:meth:`SparqlEndpoint.swap_service`), so no request ever sees
   a half-loaded store and response generation stamps stay monotonic.
 
+With a delta-log leader (``SnapshotPolicy(log=True)``), workers default to
+the **catch-up path**: instead of reloading a full snapshot per published
+generation, each worker tails the committed write-ahead log
+(:class:`~repro.persist.WalTailer`) and applies new records to its serving
+store *in place* under the service's write gate — generations still only
+move forward, and each applied batch costs the record's bytes rather than a
+full restore.  The worker falls back to a full resync
+(:func:`~repro.persist.restore_with_log` + swap) whenever the log is
+missing, rotated past its position, or a record fails to apply; a root with
+no log at all behaves exactly as before (full reload per commit).  Disable
+with ``--no-catch-up``.
+
 The worker is a real OS process with a CLI (``python -m
 repro.endpoint.worker --root SNAPROOT ...``) so the fleet can be supervised
 by anything; :class:`WorkerSupervisor` is the in-tree supervisor the
@@ -42,8 +54,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.endpoint.server import EndpointConfig, SparqlEndpoint
-from repro.errors import SnapshotError
-from repro.persist.snapshot import load_snapshot
+from repro.errors import ReproError, SnapshotError
+from repro.persist.snapshot import load_snapshot, read_manifest
+from repro.persist.wal import WalTailer, restore_with_log
 from repro.persist.watch import SnapshotWatcher
 from repro.serve.service import QueryService, ServiceConfig
 
@@ -70,6 +83,7 @@ class WorkerOptions:
         queue_depth: int = 16,
         admission_timeout: float = 2.0,
         cache_results: bool = True,
+        catch_up: bool = True,
         test_delay_seconds: float = 0.0,
     ):
         self.root = Path(root)
@@ -81,16 +95,23 @@ class WorkerOptions:
         self.queue_depth = queue_depth
         self.admission_timeout = admission_timeout
         self.cache_results = cache_results
+        self.catch_up = catch_up
         self.test_delay_seconds = test_delay_seconds
 
 
-def _worker_service(restored, cache_results: bool = True) -> QueryService:
+def _worker_service(restored, cache_results: bool = True, gated: bool = False) -> QueryService:
     # Workers serve read-only: no adaptive tuning, no snapshot policy, and
     # inline execution (the HTTP layer already gives each request its own
     # thread, so a batch pool inside the worker would only add queueing).
     # ``cache_results=False`` is the benchmark mode: measured QPS must be
-    # store throughput, not result-cache hit throughput.
-    return QueryService(restored.dual, ServiceConfig(max_workers=1, cache_results=cache_results))
+    # store throughput, not result-cache hit throughput.  ``gated=True`` is
+    # the catch-up mode: delta records mutate the serving store in place, so
+    # reads and applies must exclude each other through the service's
+    # read-write gate.
+    return QueryService(
+        restored.dual,
+        ServiceConfig(max_workers=1, cache_results=cache_results, gated=gated),
+    )
 
 
 def _write_announce(path: Path, payload: Dict[str, object]) -> None:
@@ -110,8 +131,16 @@ def run_worker(options: WorkerOptions, stop: Optional[threading.Event] = None) -
     except ValueError:  # started from a non-main thread (tests)
         pass
 
-    restored = load_snapshot(options.root)
-    service = _worker_service(restored, options.cache_results)
+    if options.catch_up:
+        try:
+            restored = restore_with_log(options.root)
+        except SnapshotError:
+            # A malformed log must not keep the worker down: serve the last
+            # full snapshot (and let the tailer/resync path sort the log out).
+            restored = load_snapshot(options.root)
+    else:
+        restored = load_snapshot(options.root)
+    service = _worker_service(restored, options.cache_results, gated=options.catch_up)
     before_execute = None
     if options.test_delay_seconds > 0:
         # Fault-injection layer: stretch every request so the harness can
@@ -132,6 +161,11 @@ def run_worker(options: WorkerOptions, stop: Optional[threading.Event] = None) -
     endpoint.start()
     watcher = SnapshotWatcher(options.root, seen=restored.manifest.name)
     generation = restored.dual.generation
+    covered = restored.manifest.name  # newest committed snapshot our state covers
+    tailer = WalTailer(options.root, generation) if options.catch_up else None
+    delta_records = 0
+    delta_bytes = 0
+    dirty = False  # a delta batch half-applied: the store MUST be replaced
 
     def announce() -> None:
         if options.announce is not None:
@@ -142,12 +176,75 @@ def run_worker(options: WorkerOptions, stop: Optional[threading.Event] = None) -
                     "port": endpoint.port,
                     "generation": generation,
                     "reloads": endpoint.reloads,
+                    "delta_records": delta_records,
+                    "delta_bytes": delta_bytes,
                 },
             )
+
+    def resync(forced: bool) -> bool:
+        """Full restore (snapshot + log tail) and swap; rebuild the tailer.
+
+        ``forced`` swaps even at an equal generation — the serving store may
+        be mid-batch after a failed delta apply and must not keep serving.
+        """
+        nonlocal generation, covered, tailer
+        try:
+            newer = restore_with_log(options.root)
+        except SnapshotError as exc:
+            print(f"worker {os.getpid()}: resync failed: {exc}", file=sys.stderr)
+            return False
+        if forced or newer.dual.generation > generation:
+            endpoint.swap_service(
+                _worker_service(newer, options.cache_results, gated=True)
+            )
+            generation = newer.dual.generation
+        covered = newer.manifest.name
+        tailer = WalTailer(options.root, generation)
+        announce()
+        return True
 
     announce()
     try:
         while not stop.wait(options.poll_interval):
+            if tailer is not None:
+                if dirty:
+                    # A previous apply failed mid-batch; retry the forced
+                    # resync every tick until a clean store is swapped in.
+                    dirty = not resync(forced=True)
+                    continue
+                try:
+                    records = tailer.poll()
+                except SnapshotError as exc:
+                    # Log rotated past us (or unreadable): the store is still
+                    # intact, so a plain resync (swap only if newer) heals it.
+                    print(f"worker {os.getpid()}: delta log gap: {exc}", file=sys.stderr)
+                    resync(forced=False)
+                    continue
+                if records:
+                    try:
+                        delta_bytes += endpoint.service.apply_wal_records(records)
+                    except ReproError as exc:
+                        print(f"worker {os.getpid()}: delta apply failed: {exc}", file=sys.stderr)
+                        dirty = not resync(forced=True)
+                        continue
+                    delta_records += len(records)
+                    generation = endpoint.service.dual.generation
+                    announce()
+                    continue
+                # No new deltas: check whether a snapshot committed *ahead* of
+                # our position (a leader publishing without a readable log).
+                name = watcher.committed_name()
+                if name is None or name == covered:
+                    continue
+                try:
+                    manifest = read_manifest(options.root)
+                except SnapshotError:
+                    continue
+                if manifest.generation <= generation:
+                    covered = manifest.name  # rotation point our deltas reached
+                    continue
+                resync(forced=False)
+                continue
             try:
                 newer = watcher.load_if_newer()
             except SnapshotError as exc:
@@ -183,6 +280,11 @@ def main(argv: Optional[List[str]] = None) -> None:
         help="re-execute every request (benchmark mode: measure store QPS, not cache QPS)",
     )
     parser.add_argument(
+        "--no-catch-up",
+        action="store_true",
+        help="never tail the delta log; full-snapshot reload per published generation",
+    )
+    parser.add_argument(
         "--test-delay-seconds",
         type=float,
         default=0.0,
@@ -200,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> None:
             queue_depth=args.queue_depth,
             admission_timeout=args.admission_timeout,
             cache_results=not args.no_result_cache,
+            catch_up=not args.no_catch_up,
             test_delay_seconds=args.test_delay_seconds,
         )
     )
@@ -226,6 +329,7 @@ class WorkerSupervisor:
         queue_depth: int = 16,
         admission_timeout: float = 2.0,
         cache_results: bool = True,
+        catch_up: bool = True,
         test_delay_seconds: float = 0.0,
         run_dir: Optional[Union[str, Path]] = None,
     ):
@@ -239,6 +343,7 @@ class WorkerSupervisor:
         self.queue_depth = queue_depth
         self.admission_timeout = admission_timeout
         self.cache_results = cache_results
+        self.catch_up = catch_up
         self.test_delay_seconds = test_delay_seconds
         self._owns_run_dir = run_dir is None
         self.run_dir = (
@@ -278,6 +383,8 @@ class WorkerSupervisor:
         ]
         if not self.cache_results:
             cmd.append("--no-result-cache")
+        if not self.catch_up:
+            cmd.append("--no-catch-up")
         if self.test_delay_seconds > 0:
             cmd.extend(["--test-delay-seconds", str(self.test_delay_seconds)])
         env = os.environ.copy()
@@ -348,6 +455,17 @@ class WorkerSupervisor:
     def generation(self, index: int) -> Optional[int]:
         info = self.announce(index)
         return None if info is None else int(info["generation"])
+
+    def delta_stats(self, index: int) -> Optional[Dict[str, int]]:
+        """Delta-log catch-up totals from the worker's announce file:
+        ``{"records": ..., "bytes": ...}``, or ``None`` if unannounced."""
+        info = self.announce(index)
+        if info is None:
+            return None
+        return {
+            "records": int(info.get("delta_records", 0)),
+            "bytes": int(info.get("delta_bytes", 0)),
+        }
 
     def wait_generation(self, generation: int, timeout: float = 30.0) -> "WorkerSupervisor":
         """Block until every live worker announces ``generation`` or newer —

@@ -59,6 +59,26 @@ class SnapshotIntegrityError(SnapshotError):
     truncated file).  Restoring must fail loudly rather than half-load."""
 
 
+class WalError(SnapshotError):
+    """The write-ahead delta log could not be written, read, or replayed.
+
+    A subclass of :class:`SnapshotError` because the log is part of the same
+    durability subsystem: callers that already fall back on snapshot failures
+    (the follower's full-restore path) handle log failures identically."""
+
+
+class WalGapError(WalError):
+    """The delta log no longer covers the generation a reader needs — it was
+    rotated/pruned past the reader's cursor.  The reader must fall back to a
+    full snapshot restore; the log alone cannot take it forward."""
+
+
+class WalReplayError(WalError):
+    """Replaying a delta record diverged from the generation it promised, or
+    carried an operation this build cannot apply.  The replayed store must be
+    discarded, never served."""
+
+
 class QueryExecutionError(ReproError):
     """A query failed during execution in either store."""
 

@@ -24,6 +24,13 @@ generation-monotonic, so read-only follower processes can track a root's
 ``CURRENT`` pointer with a :class:`SnapshotWatcher` and hot-reload each new
 generation the leader publishes — the multi-process serving mode of
 :mod:`repro.endpoint.worker` (``docs/architecture.md`` §8).
+
+Between snapshots, the **write-ahead delta log** (:mod:`repro.persist.wal`,
+``docs/architecture.md`` §9) makes durability and replication incremental:
+every mutation batch appends one checksummed, fsync'd record, each snapshot
+commit rotates the log, ``snapshot + replay(tail)`` restores byte-identically
+(:func:`restore_with_log`), and followers catch up by tailing committed
+records (:class:`WalTailer`) instead of reloading full snapshots.
 """
 
 from repro.persist.snapshot import (
@@ -40,10 +47,30 @@ from repro.persist.snapshot import (
     read_manifest,
     write_snapshot,
 )
+from repro.persist.wal import (
+    WAL_FORMAT_VERSION,
+    DeltaLog,
+    WalRecord,
+    WalSegment,
+    WalTailer,
+    apply_record,
+    collect_tail,
+    list_segments,
+    restore_with_log,
+)
 from repro.persist.watch import SnapshotWatcher
 
 __all__ = [
     "SnapshotWatcher",
+    "WAL_FORMAT_VERSION",
+    "DeltaLog",
+    "WalRecord",
+    "WalSegment",
+    "WalTailer",
+    "apply_record",
+    "collect_tail",
+    "list_segments",
+    "restore_with_log",
     "FORMAT_VERSION",
     "CapturedSnapshot",
     "RestoredSnapshot",

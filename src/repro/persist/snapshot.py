@@ -101,12 +101,22 @@ class SnapshotPolicy:
     keep:
         Completed snapshots retained in the root; older ones are pruned
         after each successful commit.
+    log:
+        Enable the write-ahead delta log (:mod:`repro.persist.wal`).  Every
+        mutation then appends one cheap fsync'd delta record, and the
+        ``every_mutations``/``interval_seconds`` triggers become *rotation*
+        thresholds: when one fires, a full snapshot commits and the log
+        rotates to a fresh segment anchored at it — so restores replay
+        ``snapshot + tail`` and followers catch up from the log instead of
+        reloading full snapshots.  The log keeps ``max(2, keep)`` segments,
+        in lockstep with snapshot retention.
     """
 
     path: Union[str, Path]
     every_mutations: int = 0
     interval_seconds: float = 0.0
     keep: int = 2
+    log: bool = False
 
     def __post_init__(self) -> None:
         if self.every_mutations < 0:

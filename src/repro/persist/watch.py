@@ -105,10 +105,16 @@ class SnapshotWatcher:
         """Restore the committed snapshot iff it is news to this watcher.
 
         Retries up to ``attempts`` times when the load loses a race against
-        a concurrent commit-and-prune (each retry re-resolves ``CURRENT``,
-        so it targets the newer snapshot).  Returns ``None`` when nothing
-        new is committed.
+        a concurrent commit-and-prune (each retry re-resolves ``CURRENT``
+        itself, so it targets the newer snapshot).  Returns ``None`` when
+        nothing new is committed.
+
+        When every attempt fails, the cursor is restored to its pre-call
+        value before the last error is raised: the generation this call
+        never managed to load stays *news*, so the next call retries it
+        instead of silently skipping it.
         """
+        entry_cursor = self._seen
         if self.poll() is None:
             return None
         last: Optional[SnapshotError] = None
@@ -117,13 +123,12 @@ class SnapshotWatcher:
                 restored = load_snapshot(self.root, cost_model=cost_model, throttle=throttle)
             except SnapshotError as exc:
                 last = exc
-                self._seen = None  # re-arm: the failed name must be re-polled
                 time.sleep(0.01)
-                self.poll()
                 continue
             self._seen = restored.manifest.name
             return restored
         assert last is not None
+        self._seen = entry_cursor
         raise last
 
     def wait_for_generation(

@@ -64,6 +64,15 @@ class ServiceCounters:
         Checkpoint commits that failed.  Policy-triggered failures are
         recorded here (and in ``QueryService.last_snapshot_error``) instead
         of raising out of the mutation that triggered them.
+    wal_records / wal_bytes:
+        Delta-log appends (``SnapshotPolicy.log``): records durably written
+        and their total framed bytes.  The churn benchmark compares these
+        bytes against full-snapshot reload bytes.
+    wal_failures:
+        Delta-log appends or rotations that failed (recorded in
+        ``QueryService.last_wal_error``; the log closes and the next
+        successful snapshot commit re-anchors it — never raised out of the
+        mutation that triggered the append).
     endpoint_requests:
         HTTP requests the SPARQL endpoint *admitted* into an execution slot
         (:mod:`repro.endpoint.server`).  **Mirrored gauge**: the endpoint's
@@ -97,6 +106,9 @@ class ServiceCounters:
     stale_rejections: int = 0
     snapshots_taken: int = 0
     snapshot_failures: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_failures: int = 0
     endpoint_requests: int = 0
     shed_load: int = 0
 

@@ -53,6 +53,7 @@ from repro.core.metrics import BatchResult, QueryRecord
 from repro.core.processor import ProcessedQuery
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.cost.resources import ResourceThrottle
+from repro.errors import SnapshotError
 from repro.execution import ExecutionResult
 from repro.persist.snapshot import (
     CapturedSnapshot,
@@ -62,6 +63,7 @@ from repro.persist.snapshot import (
     commit_snapshot,
     load_snapshot,
 )
+from repro.persist.wal import DeltaLog, WalRecord, apply_record, restore_with_log
 from repro.rdf.terms import IRI, Triple
 from repro.relstore.sharded import ShardedRelationalStore
 from repro.sparql.ast import SelectQuery
@@ -79,7 +81,7 @@ from repro.serve.metrics import ServiceMetrics
 from repro.serve.plan_cache import PlanCache, QueryPlan
 from repro.serve.result_cache import CachedExecution, ResultCache
 
-__all__ = ["ServiceConfig", "ServedBatch", "QueryService"]
+__all__ = ["ServiceConfig", "ServedBatch", "IngestReport", "QueryService"]
 
 #: A query may be submitted as raw SPARQL text or as an already-parsed AST.
 QueryLike = Union[str, SelectQuery]
@@ -140,7 +142,16 @@ class ServiceConfig:
         its mutation-count or interval trigger fires — always under the
         writer gate, so every snapshot is a consistent cut.  Restart with
         :meth:`QueryService.restore`.  ``None`` (the default) keeps the
-        service memory-only.
+        service memory-only.  With ``SnapshotPolicy(log=True)`` the service
+        also keeps a write-ahead delta log (:mod:`repro.persist.wal`): every
+        mutation appends one record, and the policy triggers become full
+        snapshot + log rotation thresholds.
+    gated:
+        Create the read/write gate even without adaptive tuning.  Required
+        when mutations (or delta-log catch-up via
+        :meth:`QueryService.apply_wal_records`) run concurrently with
+        serving — the follower workers and the churn benchmark's leader use
+        this.  Implied by ``adaptive``.
     """
 
     plan_cache_size: int = 1024
@@ -149,6 +160,7 @@ class ServiceConfig:
     cache_results: bool = True
     adaptive: Optional[AdaptiveConfig] = None
     snapshot: Optional[SnapshotPolicy] = None
+    gated: bool = False
 
 
 @dataclass
@@ -184,6 +196,15 @@ class ServedBatch:
 
     def __iter__(self):
         return iter(self.executions)
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`QueryService.ingest_stream` call did."""
+
+    triples: int = 0
+    chunks: int = 0
+    modelled_seconds: float = 0.0
 
 
 class QueryService:
@@ -238,9 +259,10 @@ class QueryService:
         self.last_snapshot_error: Optional[Exception] = None
         self.adaptive: Optional[TuningDaemon] = None
         self._gate: Optional[ReadWriteLock] = None
+        if self.config.adaptive is not None or self.config.gated:
+            self._gate = ReadWriteLock()
         if self.config.adaptive is not None:
             adaptive = self.config.adaptive
-            self._gate = ReadWriteLock()
             self.adaptive = TuningDaemon(
                 dual=dual,
                 tuner=adaptive.tuner_factory(dual),
@@ -251,6 +273,18 @@ class QueryService:
             # Background-thread epochs (daemon.start) must hit the same
             # snapshot-policy boundary as tune_now() and auto epochs.
             self.adaptive.post_epoch_hook = self._maybe_checkpoint_gated
+        #: The write-ahead delta log (SnapshotPolicy.log): mutations append
+        #: delta records through the dual store's mutation-listener seam,
+        #: snapshot commits rotate.  Append/rotate failures are recorded
+        #: here and in ``wal_failures`` — never raised out of a mutation.
+        self.delta_log: Optional[DeltaLog] = None
+        self.last_wal_error: Optional[Exception] = None
+        if self._snapshot_policy is not None and self._snapshot_policy.log:
+            self.delta_log = DeltaLog(
+                self._snapshot_policy.path, keep_segments=max(2, self._snapshot_policy.keep)
+            )
+            self._anchor_delta_log()
+            dual.add_mutation_listener(self._on_wal_event)
         dual.add_invalidation_hook(self._on_mutation)
 
     # ------------------------------------------------------------------ #
@@ -272,6 +306,9 @@ class QueryService:
             # anything this service still holds.
             self.adaptive.stop()
         self.dual.remove_invalidation_hook(self._on_mutation)
+        if self.delta_log is not None:
+            self.dual.remove_mutation_listener(self._on_wal_event)
+            self.delta_log.close()
         with self._pool_lock:
             # Query pool first: waiting for it drains in-flight serves whose
             # workers hold a reference to the scatter pool — shutting the
@@ -494,6 +531,65 @@ class QueryService:
     def insert(self, triples: Iterable[Triple]) -> float:
         return self._gated_mutation(lambda: self.dual.insert(triples))
 
+    def delete(self, triples: Iterable[Triple]) -> int:
+        """Remove triples from the relational master copy (gated like
+        :meth:`insert`); returns how many were actually removed."""
+        return self._gated_mutation(lambda: self.dual.delete(triples))
+
+    def ingest_stream(
+        self,
+        triples: Iterable[Triple],
+        *,
+        chunk_size: int = 1024,
+        refresh_statistics: bool = True,
+    ) -> IngestReport:
+        """Bulk streaming ingest: consume ``triples`` in chunks.
+
+        Each chunk is one gated :meth:`insert` — one generation bump, one
+        result-cache invalidation, and (in delta-log mode) one log record —
+        so a million-triple stream costs thousands of cheap boundaries, not
+        millions.  Statistics refresh is *deferred*: the per-chunk inserts
+        only drop the stale statistics (recomputation is lazy), and one
+        optional warm pass at the end rebuilds them before query traffic
+        pays the rebuild inside a serve.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        report = IngestReport()
+        chunk: List[Triple] = []
+        for triple in triples:
+            chunk.append(triple)
+            if len(chunk) >= chunk_size:
+                report.modelled_seconds += self.insert(chunk)
+                report.triples += len(chunk)
+                report.chunks += 1
+                chunk = []
+        if chunk:
+            report.modelled_seconds += self.insert(chunk)
+            report.triples += len(chunk)
+            report.chunks += 1
+        if refresh_statistics and report.chunks:
+            self.dual.relational.statistics()
+        return report
+
+    def apply_wal_records(self, records: Sequence[WalRecord]) -> int:
+        """Apply committed delta-log records to the live store — the
+        follower catch-up path (:mod:`repro.endpoint.worker`).
+
+        Runs under the write gate (``ServiceConfig.gated``), so in-flight
+        serves never observe a half-applied record; each record fires the
+        invalidation hook once, exactly like the leader-side mutation that
+        produced it.  Returns the framed bytes applied (the churn
+        benchmark's delta-cost measure).  Replay errors propagate — a
+        drifted store must be discarded, not served.
+        """
+        nbytes = 0
+        with self._write_gated():
+            for record in records:
+                apply_record(self.dual, record)
+                nbytes += record.nbytes
+        return nbytes
+
     def transfer_partition(self, predicate: IRI) -> float:
         """Replicate one partition into the graph store; returns modelled
         import seconds."""
@@ -533,6 +629,80 @@ class QueryService:
             self.metrics.counters.invalidations += dropped
             self.metrics.counters.invalidation_events += 1
             self._mutations_since_snapshot += 1
+
+    # ------------------------------------------------------------------ #
+    # The write-ahead delta log (SnapshotPolicy.log)
+    # ------------------------------------------------------------------ #
+    def _anchor_delta_log(self) -> None:
+        """Make the log resumable before the first serve.
+
+        Warm restart: when the on-disk tail already ends exactly at the live
+        store's generation (the store came from :func:`restore_with_log`),
+        reopen it — truncating any torn tail — and keep appending.
+        Otherwise anchor a fresh full snapshot and rotate onto it, so every
+        subsequent mutation has a committed base to replay against.
+        """
+        assert self.delta_log is not None
+        if self.dual.design is None:
+            raise SnapshotError(
+                "SnapshotPolicy(log=True) needs a loaded store: the delta log must "
+                "anchor a full snapshot before mutations can be logged"
+            )
+        if self.delta_log.recover(self.dual.generation):
+            return
+        self.checkpoint()
+
+    def _on_wal_event(self, ops: List[dict], generation: int) -> None:
+        """Mutation listener: durably append one delta record.
+
+        Failures are recorded (``wal_failures`` / :attr:`last_wal_error`)
+        and close the log — the mutation itself already committed in memory,
+        so raising here would poison it; restores stay anchored to the last
+        complete record until the next snapshot commit rotates a fresh
+        segment.  An empty ``ops`` list is a mutation the op vocabulary
+        cannot represent (a re-``load``): the log closes for the same
+        reason, loudly in the error slot.
+        """
+        log = self.delta_log
+        if log is None or not log.is_open:
+            return
+        if not ops:
+            log.close()
+            self.last_wal_error = SnapshotError(
+                f"generation {generation} carried no replayable ops (re-load?); "
+                "delta log closed until the next snapshot commit"
+            )
+            with self._metrics_lock:
+                self.metrics.counters.wal_failures += 1
+            return
+        try:
+            nbytes = log.append(ops, generation)
+        except Exception as exc:
+            self.last_wal_error = exc
+            with self._metrics_lock:
+                self.metrics.counters.wal_failures += 1
+            return
+        with self._metrics_lock:
+            self.metrics.counters.wal_records += 1
+            self.metrics.counters.wal_bytes += nbytes
+
+    def _maybe_rotate_log(self, path, manifest: SnapshotManifest) -> None:
+        """Rotate the delta log after a successful snapshot commit on the
+        policy path (ad-hoc side checkpoints leave the log anchored where it
+        is).  Rotation failures are recorded, not raised — the snapshot
+        itself committed."""
+        log = self.delta_log
+        policy = self._snapshot_policy
+        if log is None or policy is None:
+            return
+        if Path(path).resolve() != Path(policy.path).resolve():
+            return
+        try:
+            log.rotate(manifest.generation, snapshot_name=manifest.name)
+        except Exception as exc:
+            self.last_wal_error = exc
+            with self._metrics_lock:
+                self.metrics.counters.wal_failures += 1
 
     # ------------------------------------------------------------------ #
     # Durable checkpoints (ServiceConfig.snapshot)
@@ -670,6 +840,7 @@ class QueryService:
             # a younger cut): nothing was written, so nothing is counted.
             with self._metrics_lock:
                 self.metrics.counters.snapshots_taken += 1
+            self._maybe_rotate_log(path, manifest)
         return manifest
 
     @classmethod
@@ -688,8 +859,20 @@ class QueryService:
         tuner's learned Q-state, so the restored service serves at the
         snapshotted placement's modelled TTI immediately, with **zero**
         tuning epochs (``benchmarks/bench_warm_restart.py`` pins this).
+
+        With ``SnapshotPolicy(log=True)`` in ``config``, the restore replays
+        the delta-log tail on top of the snapshot
+        (:func:`~repro.persist.wal.restore_with_log`), resuming at the exact
+        pre-crash generation — a torn final record is truncated and the new
+        service keeps appending where the log left off.  Adaptive Q-state
+        restores to the last *full* snapshot (the log records store
+        mutations, not tuner learning).
         """
-        restored = load_snapshot(path, cost_model=cost_model, throttle=throttle)
+        policy = config.snapshot if config is not None else None
+        if policy is not None and policy.log:
+            restored = restore_with_log(path, cost_model=cost_model, throttle=throttle)
+        else:
+            restored = load_snapshot(path, cost_model=cost_model, throttle=throttle)
         service = cls(restored.dual, config)
         if (
             service.adaptive is not None

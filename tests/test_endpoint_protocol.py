@@ -259,3 +259,92 @@ class TestControlPlane:
         assert counters["endpoint_requests"] == payload["endpoint"]["admitted"]
         assert counters["shed_load"] == payload["endpoint"]["shed_load"]
         assert int(headers[GENERATION_HEADER]) == payload["generation"]
+
+
+class TestPoolRetryBackoff:
+    """The pool's retry discipline (no live sockets: the request function and
+    the clock are stubbed, so these pin exactly what sleeps happen when)."""
+
+    @staticmethod
+    def _response(status: int, headers: dict | None = None, body: bytes = b""):
+        from repro.endpoint.client import EndpointResponse
+
+        return EndpointResponse(status, headers or {}, body)
+
+    @staticmethod
+    def _pool(monkeypatch, outcomes, **kwargs):
+        """An EndpointPool whose requests replay ``outcomes`` (an exception
+        instance to raise, or an EndpointResponse to return) and whose sleeps
+        are recorded instead of slept."""
+        from repro.endpoint import client as client_module
+        from repro.endpoint.client import EndpointPool
+
+        script = iter(outcomes)
+        slept: list[float] = []
+
+        def fake_request(url, query, **_kwargs):
+            outcome = next(script)
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client_module, "sparql_request", fake_request)
+        monkeypatch.setattr(client_module.time, "sleep", slept.append)
+        pool = EndpointPool(["http://a", "http://b"], **kwargs)
+        return pool, slept
+
+    def test_transport_errors_back_off_exponentially_with_a_cap(self, monkeypatch):
+        pool, slept = self._pool(
+            monkeypatch,
+            [ConnectionError("down")] * 4 + [self._response(200, body=b"ok")],
+            max_attempts=5,
+            retry_backoff_seconds=0.05,
+            retry_backoff_cap_seconds=0.15,
+        )
+        response = pool.query("SELECT * WHERE { ?s ?p ?o . }")
+        assert response.status == 200
+        assert pool.transport_retries == 4
+        # 0.05, 0.10, then capped at 0.15 — never a zero-sleep hot loop.
+        assert slept == [0.05, 0.10, 0.15, 0.15]
+
+    def test_no_sleep_after_the_final_attempt(self, monkeypatch):
+        pool, slept = self._pool(
+            monkeypatch,
+            [ConnectionError("down")] * 3,
+            max_attempts=3,
+            retry_backoff_seconds=0.05,
+        )
+        with pytest.raises(ConnectionError):
+            pool.query("SELECT * WHERE { ?s ?p ?o . }")
+        assert len(slept) == 2  # sleeps *between* attempts only
+
+    def test_retry_after_hint_overrides_backoff_up_to_its_cap(self, monkeypatch):
+        pool, slept = self._pool(
+            monkeypatch,
+            [
+                self._response(503, {"retry-after": "0.3"}, b"shed"),
+                self._response(503, {"retry-after": "60"}, b"shed"),
+                self._response(503, {}, b"shed"),
+                self._response(200, body=b"ok"),
+            ],
+            max_attempts=4,
+            retry_backoff_seconds=0.05,
+            retry_backoff_cap_seconds=1.0,
+            retry_after_cap_seconds=2.0,
+        )
+        response = pool.query("SELECT * WHERE { ?s ?p ?o . }")
+        assert response.status == 200
+        assert pool.shed_retries == 3
+        # Hint honored (0.3), adversarial hint clamped (60 -> 2.0), no hint
+        # falls back to the exponential schedule for attempt index 2.
+        assert slept == [0.3, 2.0, 0.2]
+
+    def test_exhausted_sheds_return_the_last_503(self, monkeypatch):
+        pool, _slept = self._pool(
+            monkeypatch,
+            [self._response(503, {"retry-after": "0"}, b"shed")] * 2,
+            max_attempts=2,
+        )
+        response = pool.query("SELECT * WHERE { ?s ?p ?o . }")
+        assert response.status == 503
+        assert pool.shed_retries == 2
