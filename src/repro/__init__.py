@@ -91,6 +91,17 @@ from repro.persist import (
     restore_with_log,
 )
 from repro.rdf import IRI, Literal, TripleSet, Triple, Variable
+from repro.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    FleetMonitor,
+    KillSpec,
+    MonitorPolicy,
+    deadline_scope,
+)
 from repro.relstore import (
     RelationalBackend,
     RelationalStore,
@@ -196,6 +207,16 @@ __all__ = [
     "SparqlEndpoint",
     "WorkerSupervisor",
     "sparql_request",
+    # resilience (deadlines, breakers, supervision, fault injection)
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "FleetMonitor",
+    "KillSpec",
+    "MonitorPolicy",
+    "deadline_scope",
     # workloads
     "Workload",
     "generate_yago",

@@ -21,8 +21,11 @@ from repro.endpoint.protocol import (
     ERROR_JSON,
     RESULTS_JSON,
     ProtocolError,
+    SparqlRequest,
     encode_error,
     encode_results,
+    request_from_get,
+    request_from_post,
     results_to_json,
     term_to_json,
 )
@@ -44,11 +47,14 @@ __all__ = [
     "ProtocolError",
     "RESULTS_JSON",
     "SparqlEndpoint",
+    "SparqlRequest",
     "WorkerOptions",
     "WorkerSupervisor",
     "encode_error",
     "encode_results",
     "fetch_json",
+    "request_from_get",
+    "request_from_post",
     "results_to_json",
     "run_worker",
     "sparql_request",

@@ -30,6 +30,8 @@ from typing import Dict, Optional, Sequence
 
 from repro.endpoint.protocol import RESULTS_JSON
 from repro.endpoint.server import GENERATION_HEADER
+from repro.resilience import faults
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 
 __all__ = ["EndpointResponse", "TransportError", "sparql_request", "EndpointPool"]
 
@@ -91,30 +93,38 @@ def sparql_request(
     post_form: bool = True,
     accept: Optional[str] = RESULTS_JSON,
     timeout: float = 30.0,
+    deadline_seconds: Optional[float] = None,
 ) -> EndpointResponse:
     """One SPARQL-protocol request against ``base_url``.
 
     ``method="GET"`` URL-encodes the query; ``method="POST"`` sends either a
     form-encoded body (``post_form=True``, the default) or a direct
     ``application/sparql-query`` body.  Pass ``accept=None`` to omit the
-    ``Accept`` header entirely.
+    ``Accept`` header entirely.  ``deadline_seconds`` carries the protocol's
+    ``timeout`` parameter — the server-side query deadline (an over-budget
+    query answers ``504``), distinct from ``timeout``, the client-side
+    socket timeout.
     """
     headers: Dict[str, str] = {}
     if accept is not None:
         headers["Accept"] = accept
+    params: Dict[str, str] = {"query": query}
+    if deadline_seconds is not None:
+        params["timeout"] = str(float(deadline_seconds))
     if method == "GET":
-        url = f"{base_url}/sparql?{urllib.parse.urlencode({'query': query})}"
+        url = f"{base_url}/sparql?{urllib.parse.urlencode(params)}"
         request = urllib.request.Request(url, headers=headers, method="GET")
     elif method == "POST":
+        target = f"{base_url}/sparql"
         if post_form:
-            body = urllib.parse.urlencode({"query": query}).encode("utf-8")
+            body = urllib.parse.urlencode(params).encode("utf-8")
             headers["Content-Type"] = "application/x-www-form-urlencoded"
         else:
             body = query.encode("utf-8")
             headers["Content-Type"] = "application/sparql-query"
-        request = urllib.request.Request(
-            f"{base_url}/sparql", data=body, headers=headers, method="POST"
-        )
+            if deadline_seconds is not None:
+                target += "?" + urllib.parse.urlencode({"timeout": params["timeout"]})
+        request = urllib.request.Request(target, data=body, headers=headers, method="POST")
     else:
         raise ValueError(f"unsupported method {method!r}; use GET or POST")
     return _exchange(request, timeout)
@@ -128,7 +138,8 @@ def fetch_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
 
 
 class EndpointPool:
-    """Round-robin client over several endpoint replicas, with bounded retry.
+    """Round-robin client over several endpoint replicas, with bounded retry
+    and per-replica circuit breaking.
 
     Transport errors (dead worker, reset connection) and ``503`` sheds are
     retried against the next replica, up to ``max_attempts`` total tries per
@@ -142,6 +153,21 @@ class EndpointPool:
     ``503``'s ``Retry-After`` hint *overrides* the computed backoff — the
     server knows its queue — honored up to ``retry_after_cap_seconds`` (a
     misconfigured or adversarial server must not stall the client forever).
+
+    **Circuit breaking** (:mod:`repro.resilience.breaker`): each replica URL
+    gets its own breaker.  A *failure* is a transport error or a ``5xx``
+    response **except 504** — a 504 is the query's own deadline verdict from
+    a perfectly healthy worker, so it must never poison the replica.  URL
+    selection skips open breakers (round-robin over the allowed ones); a
+    half-open breaker admits its probe request; any success re-closes.  If
+    *every* breaker is open the pool sends to the next replica anyway —
+    breaking sheds load away from a sick replica, it never wedges the client
+    with no replica at all.  Pass ``breaker_policy=None`` to disable.
+
+    Fault injection: each attempt passes the ``pool.transport`` site of an
+    installed :class:`~repro.resilience.faults.FaultPlan` before touching
+    the network, so the chaos suite can inject latency spikes and connection
+    errors deterministically without a real sick network.
     """
 
     def __init__(
@@ -153,6 +179,9 @@ class EndpointPool:
         retry_backoff_seconds: float = 0.05,
         retry_backoff_cap_seconds: float = 1.0,
         retry_after_cap_seconds: float = 5.0,
+        breaker_policy: Optional[BreakerPolicy] = BreakerPolicy(),
+        breaker_clock=time.monotonic,
+        transport=None,
     ):
         if not urls:
             raise ValueError("EndpointPool needs at least one endpoint URL")
@@ -162,6 +191,15 @@ class EndpointPool:
         self.retry_backoff_seconds = retry_backoff_seconds
         self.retry_backoff_cap_seconds = retry_backoff_cap_seconds
         self.retry_after_cap_seconds = retry_after_cap_seconds
+        self._transport = transport
+        self.breakers: Optional[Dict[str, CircuitBreaker]] = (
+            None
+            if breaker_policy is None
+            else {
+                url: CircuitBreaker(breaker_policy, clock=breaker_clock)
+                for url in self.urls
+            }
+        )
         self._cursor = itertools.count()
         self._lock = threading.Lock()
         #: Cumulative transport-level failures that were retried.
@@ -170,7 +208,31 @@ class EndpointPool:
         self.shed_retries = 0
 
     def _next_url(self) -> str:
-        return self.urls[next(self._cursor) % len(self.urls)]
+        start = next(self._cursor)
+        if self.breakers is None:
+            return self.urls[start % len(self.urls)]
+        for offset in range(len(self.urls)):
+            url = self.urls[(start + offset) % len(self.urls)]
+            if self.breakers[url].allow():
+                return url
+        # Every breaker is open: never wedge — try the next replica anyway.
+        # (An open breaker ignores failures, so accounting stays exact.)
+        return self.urls[start % len(self.urls)]
+
+    def _record(self, url: str, ok: bool) -> None:
+        if self.breakers is None:
+            return
+        if ok:
+            self.breakers[url].record_success()
+        else:
+            self.breakers[url].record_failure()
+
+    @property
+    def breaker_opens(self) -> int:
+        """Cumulative closed→open trips summed over every replica breaker."""
+        if self.breakers is None:
+            return 0
+        return sum(breaker.opens for breaker in self.breakers.values())
 
     def _backoff(self, attempt: int) -> float:
         """Exponential backoff for retry ``attempt`` (0-based), capped."""
@@ -188,15 +250,24 @@ class EndpointPool:
         last_error: Optional[BaseException] = None
         for attempt in range(self.max_attempts):
             url = self._next_url()
+            # Resolve the transport per call: the default is the *current*
+            # module-level sparql_request, so tests stubbing it still apply.
+            transport = self._transport if self._transport is not None else sparql_request
             try:
-                response = sparql_request(url, query, timeout=self.timeout, **request_kwargs)
+                faults.fire("pool.transport")
+                response = transport(url, query, timeout=self.timeout, **request_kwargs)
             except TransportError as exc:
+                self._record(url, ok=False)
                 last_error = exc
                 with self._lock:
                     self.transport_retries += 1
                 if attempt + 1 < self.max_attempts:
                     time.sleep(self._backoff(attempt))
                 continue
+            # A 504 is the query's own deadline outcome from a healthy
+            # worker; everything else ≥500 (including 503 sheds) counts
+            # against the replica's breaker.
+            self._record(url, ok=response.status < 500 or response.status == 504)
             if response.status == 503:
                 last_response = response
                 with self._lock:

@@ -30,6 +30,8 @@ transport.
 from __future__ import annotations
 
 import json
+import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
@@ -46,6 +48,9 @@ __all__ = [
     "encode_results",
     "encode_error",
     "negotiate_accept",
+    "SparqlRequest",
+    "request_from_get",
+    "request_from_post",
     "query_from_get",
     "query_from_post",
 ]
@@ -192,19 +197,63 @@ def _single_query_param(params: Dict[str, List[str]], where: str) -> str:
     return query
 
 
-def query_from_get(query_string: str) -> str:
-    """Extract the query text from a ``GET /sparql?query=...`` URL."""
-    return _single_query_param(parse_qs(query_string), "query string")
+@dataclass(frozen=True)
+class SparqlRequest:
+    """One parsed protocol request: the query text plus request options.
+
+    ``timeout_seconds`` is the optional per-request wall-clock deadline
+    (the ``timeout`` parameter, in seconds), carried into
+    ``QueryService.run_query(deadline_seconds=...)`` by the HTTP layer;
+    ``None`` defers to the service's configured default.
+    """
+
+    query: str
+    timeout_seconds: Optional[float] = None
 
 
-def query_from_post(content_type: Optional[str], body: bytes) -> str:
-    """Extract the query text from a ``POST /sparql`` body.
+def _timeout_param(params: Dict[str, List[str]], where: str) -> Optional[float]:
+    """The optional ``timeout`` parameter: a positive, finite float."""
+    values = params.get("timeout", [])
+    if not values:
+        return None
+    if len(values) > 1:
+        raise ProtocolError(
+            400, "duplicate-timeout", f"multiple 'timeout' parameters in the {where}"
+        )
+    try:
+        seconds = float(values[0])
+    except ValueError:
+        raise ProtocolError(
+            400, "invalid-timeout", f"'timeout' is not a number: {values[0]!r}"
+        )
+    if not math.isfinite(seconds) or seconds <= 0:
+        raise ProtocolError(
+            400, "invalid-timeout", "'timeout' must be a positive number of seconds"
+        )
+    return seconds
+
+
+def request_from_get(query_string: str) -> SparqlRequest:
+    """Parse a ``GET /sparql?query=...[&timeout=...]`` URL."""
+    params = parse_qs(query_string)
+    return SparqlRequest(
+        query=_single_query_param(params, "query string"),
+        timeout_seconds=_timeout_param(params, "query string"),
+    )
+
+
+def request_from_post(
+    content_type: Optional[str], body: bytes, query_string: str = ""
+) -> SparqlRequest:
+    """Parse a ``POST /sparql`` body (plus the URL's own parameters).
 
     Supports both protocol-mandated request forms: URL-encoded form
     parameters and the direct ``application/sparql-query`` body.  Anything
     else is a 415 (the protocol's "unsupported media type" case, not a 400:
     the request may be perfectly well-formed for a media type this endpoint
-    simply does not consume).
+    simply does not consume).  The ``timeout`` option is read from the form
+    body in the form-encoded case and from the URL query string in the
+    direct-body case (the body *is* the query there).
     """
     if content_type is None or not content_type.strip():
         raise ProtocolError(
@@ -217,13 +266,30 @@ def query_from_post(content_type: Optional[str], body: bytes) -> str:
     except (LookupError, UnicodeDecodeError) as exc:
         raise ProtocolError(400, "undecodable-body", f"cannot decode request body: {exc}")
     if media == _FORM_URLENCODED:
-        return _single_query_param(parse_qs(text), "form body")
+        form = parse_qs(text)
+        return SparqlRequest(
+            query=_single_query_param(form, "form body"),
+            timeout_seconds=_timeout_param(form, "form body"),
+        )
     if media == _SPARQL_QUERY:
         if not text.strip():
             raise ProtocolError(400, "missing-query", "empty application/sparql-query body")
-        return text
+        return SparqlRequest(
+            query=text,
+            timeout_seconds=_timeout_param(parse_qs(query_string), "query string"),
+        )
     raise ProtocolError(
         415,
         "unsupported-media-type",
         f"POST bodies must be {_FORM_URLENCODED} or {_SPARQL_QUERY}, not {media!r}",
     )
+
+
+def query_from_get(query_string: str) -> str:
+    """Extract just the query text from a GET URL (compat wrapper)."""
+    return request_from_get(query_string).query
+
+
+def query_from_post(content_type: Optional[str], body: bytes) -> str:
+    """Extract just the query text from a POST body (compat wrapper)."""
+    return request_from_post(content_type, body).query

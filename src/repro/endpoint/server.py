@@ -40,8 +40,10 @@ property of the endpoint, not of any one store generation.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
+import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
@@ -51,13 +53,14 @@ from repro.endpoint.protocol import (
     ERROR_JSON,
     RESULTS_JSON,
     ProtocolError,
+    SparqlRequest,
     encode_error,
     encode_results,
     negotiate_accept,
-    query_from_get,
-    query_from_post,
+    request_from_get,
+    request_from_post,
 )
-from repro.errors import ParseError, ReproError
+from repro.errors import ParseError, QueryTimeoutError, ReproError
 from repro.serve.service import QueryService
 
 __all__ = ["EndpointConfig", "AdmissionGate", "SparqlEndpoint", "GENERATION_HEADER"]
@@ -88,7 +91,9 @@ class EndpointConfig:
         How long a queued request may wait for an execution slot before it
         is shed with 503 (``0`` sheds immediately once all slots are busy).
     retry_after_seconds:
-        Value of the ``Retry-After`` header on shed responses.
+        Base value of the ``Retry-After`` header on shed responses.  The
+        actual hint scales with queue occupancy at shed time — see
+        :meth:`SparqlEndpoint.retry_after_hint`.
     role:
         Free-form label surfaced by ``/healthz`` and ``/metrics``
         (``standalone`` | ``leader`` | ``worker``).
@@ -227,7 +232,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         split = urlsplit(self.path)
         if split.path == "/sparql":
-            self._handle_sparql(lambda: query_from_get(split.query))
+            self._handle_sparql(lambda: request_from_get(split.query))
         elif split.path == "/healthz":
             self._handle_healthz()
         elif split.path == "/metrics":
@@ -251,7 +256,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_error(400, "bad-content-length", "Content-Length is not an integer")
             return
         body = self.rfile.read(length) if length > 0 else b""
-        self._handle_sparql(lambda: query_from_post(self.headers.get("Content-Type"), body))
+        self._handle_sparql(
+            lambda: request_from_post(self.headers.get("Content-Type"), body, split.query)
+        )
 
     def _method_not_allowed(self) -> None:
         self._respond_error(
@@ -266,17 +273,18 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # /sparql
     # ------------------------------------------------------------------ #
-    def _handle_sparql(self, extract_query: Callable[[], str]) -> None:
+    def _handle_sparql(self, extract_request: Callable[[], SparqlRequest]) -> None:
         endpoint = self.server.endpoint
         # Protocol validation happens before admission: a malformed request
         # must get its 400 even from a saturated endpoint, and must never
         # consume an execution slot.
         try:
             negotiate_accept(self.headers.get("Accept"))
-            query_text = extract_query()
+            request = extract_request()
         except ProtocolError as exc:
             self._respond_error(exc.status, exc.code, exc.message)
             return
+        query_text = request.query
         service = endpoint.service
         try:
             service.resolve(query_text)
@@ -289,13 +297,26 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_error(400, "invalid-query", str(exc))
             return
 
+        if endpoint.draining:
+            # Graceful shutdown: stop admitting, let in-flight finish.  The
+            # rejection is counted on the endpoint (not the gate — gate sheds
+            # mean overload, this means shutdown) so accounting stays exact.
+            endpoint.count_drain_rejection()
+            self._respond_error(
+                503,
+                "draining",
+                "endpoint is draining for shutdown",
+                {"Retry-After": endpoint.retry_after_hint()},
+            )
+            return
+
         gate = endpoint.gate
         if not gate.try_admit():
             self._respond_error(
                 503,
                 "overloaded",
                 "request shed: the admission queue is full",
-                {"Retry-After": endpoint.config.retry_after_seconds},
+                {"Retry-After": endpoint.retry_after_hint()},
             )
             endpoint.mirror_admission()
             return
@@ -307,10 +328,24 @@ class _Handler(BaseHTTPRequestHandler):
             if endpoint.before_execute is not None:
                 endpoint.before_execute(query_text)
             generation = service.dual.generation
-            processed = service.run_query(query_text)
+            processed = service.run_query(
+                query_text, deadline_seconds=request.timeout_seconds
+            )
             body = encode_results(processed.result)
         except ParseError as exc:  # pragma: no cover - caught pre-admission
             self._respond_error(400, "parse-error", exc.message, line=exc.line, column=exc.column)
+            return
+        except QueryTimeoutError as exc:
+            # Cooperative cancellation tripped: the slot is already freed by
+            # the finally below — 504 with the exact partial-work accounting.
+            self._respond_error(
+                504,
+                "query-timeout",
+                str(exc),
+                budget_seconds=exc.budget_seconds,
+                elapsed_seconds=exc.elapsed_seconds,
+                partial_work=exc.partial_work or None,
+            )
             return
         except ReproError as exc:
             self._respond_error(500, "execution-failed", str(exc))
@@ -334,7 +369,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_healthz(self) -> None:
         endpoint = self.server.endpoint
         payload = {
-            "status": "ok",
+            "status": "draining" if endpoint.draining else "ok",
             "role": endpoint.config.role,
             "pid": os.getpid(),
             "generation": endpoint.service.dual.generation,
@@ -351,11 +386,14 @@ class _Handler(BaseHTTPRequestHandler):
         endpoint = self.server.endpoint
         service = endpoint.service
         endpoint.mirror_admission()
+        admission = endpoint.gate.snapshot()
+        admission["draining"] = endpoint.draining
+        admission["drain_rejections"] = endpoint.drain_rejections
         payload = {
             "role": endpoint.config.role,
             "generation": service.dual.generation,
             "reloads": endpoint.reloads,
-            "endpoint": endpoint.gate.snapshot(),
+            "endpoint": admission,
             "service": service.metrics.snapshot(),
         }
         self._respond(
@@ -403,6 +441,12 @@ class SparqlEndpoint:
         self.before_execute = before_execute
         #: Times :meth:`swap_service` replaced the serving store (worker mode).
         self.reloads = 0
+        #: Draining mode: new /sparql requests are rejected with 503
+        #: ``draining`` while in-flight ones finish (see :meth:`drain`).
+        self._draining = False
+        self._drain_lock = threading.Lock()
+        #: Requests rejected because the endpoint was draining (cumulative).
+        self.drain_rejections = 0
         self._httpd = _EndpointHTTPServer((self.config.host, self.config.port), _Handler)
         self._httpd.endpoint = self
         self._thread: Optional[threading.Thread] = None
@@ -436,7 +480,13 @@ class SparqlEndpoint:
         return self
 
     def stop(self) -> None:
-        """Stop accepting connections and release the listening socket."""
+        """Stop accepting connections and release the listening socket.
+
+        Raises :class:`RuntimeError` if the serving thread is still alive
+        after a 5-second join — a wedged handler must be loud, not a thread
+        silently accumulating across a long test run.  The thread reference
+        is kept in that case so a retry can observe (and re-join) it.
+        """
         if not self._started:
             self._httpd.server_close()
             return
@@ -445,6 +495,11 @@ class SparqlEndpoint:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"endpoint thread {self._thread.name!r} did not stop within "
+                    "5.0s of shutdown; a handler is wedged"
+                )
             self._thread = None
 
     def __enter__(self) -> "SparqlEndpoint":
@@ -482,8 +537,53 @@ class SparqlEndpoint:
         return old
 
     # ------------------------------------------------------------------ #
+    # Graceful drain (worker shutdown)
+    # ------------------------------------------------------------------ #
+    @property
+    def draining(self) -> bool:
+        """Whether the endpoint is refusing new queries ahead of shutdown."""
+        with self._drain_lock:
+            return self._draining
+
+    def count_drain_rejection(self) -> None:
+        with self._drain_lock:
+            self.drain_rejections += 1
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting new queries and wait for in-flight ones to finish.
+
+        Returns ``True`` when gate occupancy reached zero within ``timeout``
+        seconds, ``False`` if requests were still in flight when it expired
+        (the caller may still :meth:`stop`; remaining requests race the
+        socket teardown, exactly as an un-drained stop would).  Idempotent —
+        once draining, the endpoint stays draining.
+        """
+        with self._drain_lock:
+            self._draining = True
+        limit = time.monotonic() + max(0.0, timeout)
+        while self.gate.occupancy > 0:
+            if time.monotonic() >= limit:
+                return False
+            time.sleep(0.02)
+        return True
+
+    # ------------------------------------------------------------------ #
     # Counter mirroring (serve-layer visibility of admission events)
     # ------------------------------------------------------------------ #
     def mirror_admission(self) -> None:
         """Copy the gate's cumulative totals into the service counters."""
         self.service.record_endpoint(requests=self.gate.admitted, shed=self.gate.shed)
+
+    def retry_after_hint(self) -> int:
+        """The ``Retry-After`` seconds for a rejected request, scaled by load.
+
+        The base (:attr:`EndpointConfig.retry_after_seconds`) is multiplied
+        by how many *waves* of work the current gate occupancy represents —
+        ``ceil(occupancy / max_inflight)`` — so a shed against a deep queue
+        tells the client to back off proportionally longer than a shed
+        against a briefly-full one.  An idle or lightly-loaded endpoint
+        (occupancy within one wave) answers the plain base value.
+        """
+        occupancy = self.gate.occupancy
+        waves = max(1, math.ceil(occupancy / self.config.max_inflight))
+        return int(self.config.retry_after_seconds * waves)

@@ -85,6 +85,7 @@ class WorkerOptions:
         cache_results: bool = True,
         catch_up: bool = True,
         test_delay_seconds: float = 0.0,
+        drain_timeout: float = 5.0,
     ):
         self.root = Path(root)
         self.host = host
@@ -97,6 +98,7 @@ class WorkerOptions:
         self.cache_results = cache_results
         self.catch_up = catch_up
         self.test_delay_seconds = test_delay_seconds
+        self.drain_timeout = drain_timeout
 
 
 def _worker_service(restored, cache_results: bool = True, gated: bool = False) -> QueryService:
@@ -258,7 +260,13 @@ def run_worker(options: WorkerOptions, stop: Optional[threading.Event] = None) -
             generation = newer.dual.generation
             announce()
     finally:
-        endpoint.stop()
+        # Graceful shutdown: stop admitting (503 "draining"), let in-flight
+        # requests finish, then tear the socket down.  SIGKILL skips all of
+        # this — that is exactly the hard-death fault mode.
+        try:
+            endpoint.drain(options.drain_timeout)
+        finally:
+            endpoint.stop()
 
 
 def main(argv: Optional[List[str]] = None) -> None:
@@ -290,6 +298,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         default=0.0,
         help="fault-injection: sleep this long inside every request's execution slot",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for in-flight requests on graceful shutdown",
+    )
     args = parser.parse_args(argv)
     run_worker(
         WorkerOptions(
@@ -304,6 +318,7 @@ def main(argv: Optional[List[str]] = None) -> None:
             cache_results=not args.no_result_cache,
             catch_up=not args.no_catch_up,
             test_delay_seconds=args.test_delay_seconds,
+            drain_timeout=args.drain_timeout,
         )
     )
 
@@ -352,6 +367,10 @@ class WorkerSupervisor:
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self._procs: Dict[int, subprocess.Popen] = {}
         self._logs: Dict[int, object] = {}
+        # Last announced port per worker slot.  A restarted worker re-binds
+        # its predecessor's port, so the URL a client pool holds stays valid
+        # across restarts instead of pointing at a recycled ephemeral port.
+        self._ports: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -370,6 +389,8 @@ class WorkerSupervisor:
             str(self.root),
             "--host",
             self.host,
+            "--port",
+            str(self._ports.get(index, 0)),
             "--announce",
             str(announce),
             "--poll-interval",
@@ -415,9 +436,27 @@ class WorkerSupervisor:
     def announce(self, index: int) -> Optional[dict]:
         """The worker's latest announce payload, or ``None`` if unreadable."""
         try:
-            return json.loads(self._announce_path(index).read_text(encoding="utf-8"))
+            info = json.loads(self._announce_path(index).read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
+        try:
+            self._ports[index] = int(info["port"])  # pin for restarts
+        except (KeyError, TypeError, ValueError):
+            pass
+        return info
+
+    def worker_indexes(self) -> List[int]:
+        """The worker slots this supervisor manages, in stable order."""
+        return sorted(self._procs)
+
+    def is_alive(self, index: int) -> bool:
+        proc = self._procs.get(index)
+        return proc is not None and proc.poll() is None
+
+    def returncode(self, index: int) -> Optional[int]:
+        """The worker's exit status, or ``None`` while it is still running."""
+        proc = self._procs.get(index)
+        return None if proc is None else proc.poll()
 
     def wait_ready(self, timeout: float = 60.0) -> "WorkerSupervisor":
         """Block until every worker announced a port; raises on worker death
@@ -489,13 +528,27 @@ class WorkerSupervisor:
     # ------------------------------------------------------------------ #
     def kill(self, index: int) -> None:
         """SIGKILL one worker — the hard-death fault mode (no cleanup runs,
-        sockets drop mid-request)."""
+        sockets drop mid-request).
+
+        The stale announce file is removed here (after capturing its port
+        for restart pinning): a SIGKILLed worker can't clean up after
+        itself, and a stale announce would otherwise point the pool or a
+        fresh supervisor at a dead — possibly recycled — port.
+        """
+        self.announce(index)  # capture the port before removing the file
         proc = self._procs[index]
         proc.kill()
         proc.wait(timeout=10)
+        self._announce_path(index).unlink(missing_ok=True)
 
     def restart(self, index: int) -> None:
-        """Replace one worker (killing it first if still alive)."""
+        """Replace one worker (killing it first if still alive).
+
+        The replacement re-binds the slot's last announced port, so URLs
+        held by clients (and their circuit breakers) stay valid across the
+        restart.
+        """
+        self.announce(index)  # refresh the port pin while the file exists
         proc = self._procs.get(index)
         if proc is not None and proc.poll() is None:
             proc.terminate()
@@ -520,6 +573,7 @@ class WorkerSupervisor:
                 proc.kill()
                 proc.wait(timeout=5)
             self._close_log(index)
+            self._announce_path(index).unlink(missing_ok=True)
         self._procs.clear()
         if self._owns_run_dir:
             import shutil

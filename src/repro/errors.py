@@ -96,6 +96,29 @@ class WorkBudgetExceeded(QueryExecutionError):
         self.partial_work = float(partial_work)
 
 
+class QueryTimeoutError(QueryExecutionError):
+    """A served query exceeded its wall-clock deadline and was cancelled
+    cooperatively (:mod:`repro.resilience.deadline`).
+
+    Carries the budget, the elapsed time at the probe that tripped, and the
+    partial work counters accumulated so far, so the HTTP layer can render a
+    machine-readable 504 with exact partial-work accounting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_seconds: float,
+        elapsed_seconds: float,
+        partial_work: "dict | None" = None,
+    ):
+        super().__init__(message)
+        self.budget_seconds = float(budget_seconds)
+        self.elapsed_seconds = float(elapsed_seconds)
+        self.partial_work = dict(partial_work) if partial_work else {}
+
+
 class TuningError(ReproError):
     """The dual-store tuner was configured or invoked incorrectly."""
 

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.cost.counters import WorkCounters
 from repro.errors import QueryExecutionError
 from repro.execution import ExecutionResult
+from repro.resilience.deadline import current_deadline, probed_rows
 from repro.rdf.terms import IRI, TermLike, Variable
 from repro.sparql.ast import Binding, SelectQuery, TriplePattern
 from repro.sparql.algebra import order_patterns_greedily
@@ -88,9 +89,11 @@ class GraphMatcher:
         names = query.projected_names()
         positions = tuple(schema.index(n) if n in schema else -1 for n in names)
         if query.distinct:
+            deadline = current_deadline()
+            row_iter = rows if deadline is None else probed_rows(rows, deadline, counters)
             seen: set = set()
             unique: List[_TermRow] = []
-            for row in rows:
+            for row in row_iter:
                 key = tuple(row[p] if p >= 0 else None for p in positions)
                 if key not in seen:
                     seen.add(key)
@@ -121,20 +124,31 @@ class GraphMatcher:
         pattern: TriplePattern,
         counters: WorkCounters,
     ) -> Tuple[Tuple[str, ...], List[_TermRow]]:
-        """Extend every pipeline row through one pattern's adjacency lists."""
+        """Extend every pipeline row through one pattern's adjacency lists.
+
+        Cancellation: with an ambient deadline active
+        (:mod:`repro.resilience.deadline`) the expansion loops probe it —
+        per stride for the bounded adjacency expansions, per pipeline row
+        for the relationship-type scans (whose per-row cost is the whole
+        edge list).  Probes never touch the counters.
+        """
         graph = self._graph
         predicate = pattern.predicate
         assert isinstance(predicate, IRI)
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(counters)
 
         subject_pos, subject_const, subject_var = self._operand(pattern.subject, schema)
         object_pos, object_const, object_var = self._operand(pattern.object, schema)
 
         out: List[_TermRow] = []
         append = out.append
+        probed = rows if deadline is None else probed_rows(rows, deadline, counters)
 
         if subject_var is None and object_var is None:
             # Both endpoints known per row: containment along the adjacency list.
-            for row in rows:
+            for row in probed:
                 subject = subject_const if subject_pos < 0 else row[subject_pos]
                 obj = object_const if object_pos < 0 else row[object_pos]
                 counters.nodes_expanded += 1
@@ -146,7 +160,7 @@ class GraphMatcher:
 
         if subject_var is None:
             # Forward expansion: the object variable is new.
-            for row in rows:
+            for row in probed:
                 subject = subject_const if subject_pos < 0 else row[subject_pos]
                 counters.nodes_expanded += 1
                 neighbours = graph.out_neighbours(subject, predicate)
@@ -157,7 +171,7 @@ class GraphMatcher:
 
         if object_var is None:
             # Backward expansion: the subject variable is new.
-            for row in rows:
+            for row in probed:
                 obj = object_const if object_pos < 0 else row[object_pos]
                 counters.nodes_expanded += 1
                 neighbours = graph.in_neighbours(obj, predicate)
@@ -170,12 +184,16 @@ class GraphMatcher:
         # exactly like expanding each solution through the type index).
         if subject_var == object_var:
             for row in rows:
+                if deadline is not None:
+                    deadline.check(counters)
                 for source, target in graph.edges(predicate):
                     counters.edges_traversed += 1
                     if source == target:
                         append(row + (source,))
             return schema + (subject_var,), out
         for row in rows:
+            if deadline is not None:
+                deadline.check(counters)
             for source, target in graph.edges(predicate):
                 counters.edges_traversed += 1
                 append(row + (source, target))

@@ -54,6 +54,7 @@ from repro.errors import SnapshotError, SnapshotIntegrityError
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.terms import IRI, Triple
 from repro.relstore.sharded import ShardedRelationalStore
+from repro.resilience import faults
 from repro.relstore.store import RelationalStore
 
 __all__ = [
@@ -238,7 +239,14 @@ def _fsync_dir(path: Path) -> None:
 
 
 def _write_file(path: Path, data: bytes) -> str:
-    """Write + fsync one file; returns its SHA-256 hex digest."""
+    """Write + fsync one file; returns its SHA-256 hex digest.
+
+    The ``snapshot.write`` fault site: an installed
+    :mod:`~repro.resilience.faults` plan can fail any individual snapshot
+    file write before its bytes land (the commit point never moves, so a
+    failed write can only ever leave an uncommitted temp directory behind).
+    """
+    faults.fire("snapshot.write")
     with open(path, "wb") as handle:
         handle.write(data)
         handle.flush()
@@ -250,8 +258,10 @@ def _publish_current(root: Path, name: str) -> None:
     """Atomically point ``CURRENT`` at ``name`` — the snapshot commit point.
 
     Kept as a separate seam so the crash-consistency tests can inject a
-    failure between the temp-dir write and the commit.
+    failure between the temp-dir write and the commit.  Also the
+    ``snapshot.publish`` :mod:`~repro.resilience.faults` site.
     """
+    faults.fire("snapshot.publish")
     pointer = root / f"{_CURRENT}.tmp-{uuid.uuid4().hex[:8]}"
     _write_file(pointer, (name + "\n").encode("utf-8"))
     os.replace(pointer, root / _CURRENT)

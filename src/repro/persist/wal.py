@@ -57,6 +57,7 @@ from repro.errors import WalError, WalGapError, WalReplayError
 from repro.persist.snapshot import RestoredSnapshot, _fsync_dir, load_snapshot
 from repro.rdf.dictionary import term_from_payload, term_to_payload
 from repro.rdf.terms import IRI, Triple
+from repro.resilience import faults
 
 __all__ = [
     "WAL_FORMAT_VERSION",
@@ -117,7 +118,11 @@ def _write_frame(handle, frame: bytes) -> None:
     """Durably append one frame (write + flush + fsync).
 
     Kept as a module seam so the crash-consistency tests can inject a torn
-    write (partial bytes, then the failure) at every append."""
+    write (partial bytes, then the failure) at every append.  Also the
+    ``wal.write`` :mod:`~repro.resilience.faults` site: an installed
+    FaultPlan can fail the append *before* any bytes land (a clean I/O
+    error, as opposed to the torn-write seam)."""
+    faults.fire("wal.write")
     handle.write(frame)
     handle.flush()
     os.fsync(handle.fileno())

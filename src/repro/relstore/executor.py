@@ -51,6 +51,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cost.counters import WorkCounters
 from repro.errors import QueryExecutionError, WorkBudgetExceeded
+from repro.resilience.deadline import current_deadline, probed_rows
 from repro.execution import ExecutionResult, ResultTable
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.terms import XSD_DOUBLE, XSD_INTEGER, Literal, TermLike, Variable
@@ -333,7 +334,15 @@ def match_id_rows(
     Charges one ``rows_scanned`` per row inspected (matching or not), exactly
     like the decode-per-row reference path; the output rows carry only the
     pattern's variable columns, in ``matcher.var_names`` order.
+
+    Cancellation: with an ambient deadline active the scan probes it every
+    :data:`~repro.resilience.deadline.PROBE_STRIDE` rows (the probe never
+    touches the counters, so surviving runs stay bit-identical).
     """
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(counters)
+        rows = probed_rows(rows, deadline, counters)
     out: List[IdRow] = []
     append = out.append
     scanned = 0
@@ -408,7 +417,13 @@ def join_id_pattern_rows(
 
     Returns the extended ``(schema, rows)``.  Charges ``rows_joined`` per
     produced tuple, at the same point as the reference join.
+
+    Cancellation: with an ambient deadline active the probe loops check it
+    periodically — and the cartesian branch (the output-explosion path, where
+    a single step can produce |rows| x |pattern_rows| tuples) checks once per
+    outer row, so even a fan-out of millions stays responsive.
     """
+    deadline = current_deadline()
     var_names = matcher.var_names
     new_names = tuple(n for n in var_names if n not in schema)
     if not rows or not pattern_rows:
@@ -419,6 +434,8 @@ def join_id_pattern_rows(
         counters.rows_joined += len(pattern_rows)
         return tuple(var_names), pattern_rows
 
+    if deadline is not None:
+        deadline.check(counters)
     out: List[IdRow] = []
     append = out.append
     shared = [n for n in var_names if n in schema]
@@ -459,7 +476,8 @@ def join_id_pattern_rows(
                         index[key] = bucket = []
                     bucket.append(tuple(prow[i] for i in new_positions))
             get = index.get
-            for row in rows:
+            probe_rows = rows if deadline is None else probed_rows(rows, deadline, counters)
+            for row in probe_rows:
                 bucket = get(row[pp])
                 if bucket is not None:
                     for extra in bucket:
@@ -472,13 +490,19 @@ def join_id_pattern_rows(
                     index[key] = bucket = []
                 bucket.append(tuple(prow[i] for i in new_positions))
             get = index.get
-            for row in rows:
+            probe_rows = rows if deadline is None else probed_rows(rows, deadline, counters)
+            for row in probe_rows:
                 bucket = get(tuple(row[i] for i in probe_positions))
                 if bucket is not None:
                     for extra in bucket:
                         append(row + extra)
+    elif deadline is None:
+        for row in rows:
+            for prow in pattern_rows:
+                append(row + prow)
     else:
         for row in rows:
+            deadline.check(counters)
             for prow in pattern_rows:
                 append(row + prow)
     counters.rows_joined += len(out)
@@ -500,6 +524,9 @@ def join_id_result_table(
     nested-loop cartesian merge the term-space path historically used only
     remains for genuinely disjoint tables.
     """
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(counters)
     table_vars = table.variables
     new_names = tuple(n for n in table_vars if n not in schema)
     if not rows:
@@ -527,13 +554,19 @@ def join_id_result_table(
                 index[key] = bucket = []
             bucket.append(tuple(trow[i] for i in new_positions))
         get = index.get
-        for row in rows:
+        probe_rows = rows if deadline is None else probed_rows(rows, deadline, counters)
+        for row in probe_rows:
             bucket = get(tuple(row[i] for i in probe_positions))
             if bucket is not None:
                 for extra in bucket:
                     append(row + extra)
+    elif deadline is None:
+        for row in rows:
+            for trow in id_rows:
+                append(row + trow)
     else:
         for row in rows:
+            deadline.check(counters)
             for trow in id_rows:
                 append(row + trow)
     counters.rows_joined += len(out)
@@ -610,9 +643,13 @@ def _apply_id_filters(
         compiled.append((flt, left, right))
 
     decode = space.decode
+    deadline = current_deadline()
+    row_iter: Iterable[IdRow] = rows
+    if deadline is not None:
+        row_iter = probed_rows(rows, deadline)
     out: List[IdRow] = []
     append = out.append
-    for row in rows:
+    for row in row_iter:
         keep = True
         for flt, (left_kind, left_value, _), (right_kind, right_value, _) in compiled:
             left_id = row[left_value] if left_kind == "var" else left_value
@@ -653,6 +690,9 @@ def finish_id_pipeline(
     Shared by the unsharded and sharded executors so late materialization
     (and result accounting) cannot drift between them.
     """
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(counters)
     if query.filters and rows:
         rows = _apply_id_filters(schema, rows, query.filters, space)
 
@@ -660,6 +700,8 @@ def finish_id_pipeline(
     positions = tuple(schema.index(n) if n in schema else -1 for n in names)
 
     if query.distinct:
+        if deadline is not None:
+            rows = probed_rows(rows, deadline, counters)
         seen: set = set()
         unique: List[IdRow] = []
         append_unique = unique.append

@@ -1,0 +1,133 @@
+"""Per-target circuit breakers for the endpoint client pool.
+
+The classic three-state machine, driven by the caller's success/failure
+reports:
+
+* **closed** — traffic flows; consecutive failures are counted and
+  ``failure_threshold`` of them trip the breaker;
+* **open** — :meth:`CircuitBreaker.allow` refuses traffic until
+  ``reset_timeout_seconds`` has elapsed since the trip;
+* **half-open** — after the reset timeout, up to ``half_open_probes``
+  requests are let through as probes: one success closes the breaker, one
+  failure re-trips it (a fresh ``open`` with a fresh timeout).
+
+The clock is injectable so the unit tests drive the state machine
+deterministically, and :attr:`CircuitBreaker.opens` counts trips cumulatively
+— the chaos suite asserts it exactly equals the injected kill schedule.
+Thread-safe: pool worker threads share one breaker per endpoint URL.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["BreakerPolicy", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tunables of one circuit breaker.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    reset_timeout_seconds:
+        How long an open breaker refuses traffic before letting half-open
+        probes through.
+    half_open_probes:
+        Concurrent probe requests allowed in the half-open state.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout_seconds: float = 1.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.reset_timeout_seconds < 0:
+            raise ValueError("reset_timeout_seconds must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+
+
+class CircuitBreaker:
+    """One target's breaker state machine (see module docstring)."""
+
+    def __init__(self, policy: BreakerPolicy | None = None, *, clock=time.monotonic):
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        #: Cumulative times the breaker tripped open.
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        """The current state, resolving an elapsed open into ``half-open``."""
+        with self._lock:
+            if self._state == OPEN and self._reset_elapsed():
+                return HALF_OPEN
+            return self._state
+
+    def _reset_elapsed(self) -> bool:
+        return self._clock() - self._opened_at >= self.policy.reset_timeout_seconds
+
+    def allow(self) -> bool:
+        """May a request proceed to this target right now?
+
+        In the half-open state a ``True`` answer *consumes* a probe permit,
+        so callers must only ask when they will actually issue the request.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if not self._reset_elapsed():
+                    return False
+                self._state = HALF_OPEN
+                self._probes_inflight = 0
+            if self._probes_inflight < self.policy.half_open_probes:
+                self._probes_inflight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request to this target succeeded: close from any state."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        """A request to this target failed.
+
+        Closed: count toward the threshold.  Half-open: the probe failed,
+        re-trip immediately.  Open: ignored (only fallback traffic reaches
+        an open breaker, and re-stamping the trip time would push recovery
+        out indefinitely under load).
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+            elif self._state == CLOSED:
+                self._failures += 1
+                if self._failures >= self.policy.failure_threshold:
+                    self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self.opens += 1
+        self._failures = 0
+        self._probes_inflight = 0

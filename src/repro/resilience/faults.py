@@ -1,0 +1,223 @@
+"""Deterministic fault injection: seeded schedules fired at named sites.
+
+``test_persist_wal.py`` pioneered the discipline — monkeypatch a module seam
+(``wal._write_frame``) with a wrapper that fails at step *k* — and this
+module promotes it to a first-class subsystem.  Production code calls
+:func:`fire` at its fault sites; with no plan installed that is one global
+read and a ``None`` check (nanoseconds).  Tests install a :class:`FaultPlan`
+(:func:`injected`) whose schedule is either hand-written or derived from a
+seed, and every fired fault is recorded on the plan so the chaos suite can
+assert counters *exactly* against the injected schedule.
+
+Instrumented sites
+------------------
+========================  ====================================================
+``wal.write``             one delta-log frame write (:mod:`repro.persist.wal`)
+``snapshot.write``        one snapshot payload/manifest file write
+``snapshot.publish``      the atomic ``CURRENT`` pointer publish
+``pool.transport``        one :class:`~repro.endpoint.client.EndpointPool`
+                          HTTP exchange (fired client-side, pre-request)
+========================  ====================================================
+
+Fault kinds: ``io-error`` raises :class:`InjectedFault` (an ``OSError`` *and*
+a member of the client's transport-error family, so one exception type
+exercises both the persist and the transport error paths) and ``latency``
+sleeps ``latency_seconds`` then lets the operation proceed.
+
+Kill schedules (worker SIGKILLs) cannot fire inside this process — they are
+carried on the plan (:attr:`FaultPlan.kills`) for the harness to apply
+through :class:`~repro.endpoint.worker.WorkerSupervisor`, keeping the whole
+chaos schedule in one seeded object.
+
+**Determinism contract**: a plan is a pure function of its constructor
+arguments (:meth:`FaultPlan.seeded` uses one private ``random.Random(seed)``
+stream), sites count their events under one lock in call order, and a fired
+fault depends only on (site, event ordinal).  Same seed + same serialized
+event order = same faults, every run.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "InjectedFault",
+    "FaultSpec",
+    "KillSpec",
+    "FaultPlan",
+    "install",
+    "uninstall",
+    "injected",
+    "fire",
+]
+
+
+class InjectedFault(ConnectionError):
+    """The error an ``io-error`` fault raises.
+
+    ``ConnectionError`` is an ``OSError``, so persist-layer sites see a
+    realistic I/O failure, and it is a member of
+    :data:`repro.endpoint.client.TransportError`, so the pool retries it
+    exactly like a dead socket.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: the ``at``-th event (1-based) at ``site``."""
+
+    site: str
+    at: int
+    kind: str  # "io-error" | "latency"
+    latency_seconds: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("io-error", "latency"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 1:
+            raise ValueError("fault ordinals are 1-based")
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """One scheduled worker SIGKILL, applied by the harness (not by fire())."""
+
+    worker: int
+    after_event: int  # fire after the Nth "pool.transport" event
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults, installable process-globally.
+
+    ``specs`` may contain at most one fault per (site, ordinal); events at a
+    site are counted in call order under the plan's lock.  Every fault that
+    actually fires is appended to :attr:`fired` (in firing order), which is
+    the ground truth the chaos assertions compare counters against.
+    """
+
+    specs: Sequence[FaultSpec] = ()
+    kills: Sequence[KillSpec] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._by_site: Dict[str, Dict[int, FaultSpec]] = {}
+        for spec in self.specs:
+            slot = self._by_site.setdefault(spec.site, {})
+            if spec.at in slot:
+                raise ValueError(f"duplicate fault at ({spec.site!r}, {spec.at})")
+            slot[spec.at] = spec
+        self.fired: List[FaultSpec] = []
+        self._sleep = time.sleep
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        site_events: Dict[str, int],
+        io_error_rate: float = 0.05,
+        latency_rate: float = 0.05,
+        latency_seconds: float = 0.05,
+        min_spacing: int = 1,
+    ) -> "FaultPlan":
+        """Derive a schedule from a seed: for each site, walk ordinals
+        ``1..site_events[site]`` and draw each event's fate from one
+        ``random.Random(seed)`` stream.  ``min_spacing`` forces at least
+        that many clean events between two faults at one site (the chaos
+        suite uses it to keep injected transport errors non-consecutive per
+        round-robin target, so they never trip a healthy worker's breaker).
+        """
+        rng = random.Random(seed)
+        specs: List[FaultSpec] = []
+        for site in sorted(site_events):
+            last_fault = -min_spacing - 1
+            for ordinal in range(1, site_events[site] + 1):
+                draw = rng.random()
+                if ordinal - last_fault <= min_spacing:
+                    continue
+                if draw < io_error_rate:
+                    specs.append(FaultSpec(site=site, at=ordinal, kind="io-error"))
+                    last_fault = ordinal
+                elif draw < io_error_rate + latency_rate:
+                    specs.append(
+                        FaultSpec(
+                            site=site,
+                            at=ordinal,
+                            kind="latency",
+                            latency_seconds=latency_seconds,
+                        )
+                    )
+                    last_fault = ordinal
+        return cls(specs=tuple(specs), seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Firing
+    # ------------------------------------------------------------------ #
+    def event_count(self, site: str) -> int:
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    def fired_at(self, site: str) -> List[FaultSpec]:
+        with self._lock:
+            return [spec for spec in self.fired if spec.site == site]
+
+    def fire(self, site: str) -> None:
+        """Count one event at ``site``; apply the scheduled fault, if any."""
+        with self._lock:
+            ordinal = self._counts.get(site, 0) + 1
+            self._counts[site] = ordinal
+            spec = self._by_site.get(site, {}).get(ordinal)
+            if spec is not None:
+                self.fired.append(spec)
+        if spec is None:
+            return
+        if spec.kind == "latency":
+            self._sleep(spec.latency_seconds)
+            return
+        raise InjectedFault(f"{spec.message} at {site}#{ordinal}")
+
+
+#: The process-global active plan; ``None`` means every fire() is a no-op.
+_active: Optional[FaultPlan] = None
+_install_lock = threading.Lock()
+
+
+def install(plan: FaultPlan) -> None:
+    """Make ``plan`` the process-global active plan (one at a time)."""
+    global _active
+    with _install_lock:
+        if _active is not None:
+            raise RuntimeError("a FaultPlan is already installed")
+        _active = plan
+
+
+def uninstall() -> None:
+    global _active
+    with _install_lock:
+        _active = None
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """``with injected(plan):`` — install for the block, always uninstall."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def fire(site: str) -> None:
+    """The production-side hook: one global read when no plan is active."""
+    plan = _active
+    if plan is not None:
+        plan.fire(site)

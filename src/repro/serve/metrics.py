@@ -85,13 +85,36 @@ class ServiceCounters:
         timed out).  **Mirrored gauge**, same discipline as
         ``endpoint_requests`` — the fault suite asserts this total matches
         the client-observed 503s exactly.
+    query_timeouts:
+        Executions cancelled cooperatively because they exceeded their
+        deadline (:mod:`repro.resilience.deadline`); each one surfaced as a
+        :class:`~repro.errors.QueryTimeoutError` (a 504 at the endpoint).
+        Incremented by the service itself, so it sums across merges.
+    worker_restarts:
+        Worker processes a :class:`~repro.resilience.fleet.FleetMonitor`
+        restarted (exits and stuck workers alike).  **Mirrored gauge**: the
+        monitor owns the cumulative total and copies it in by assignment via
+        :meth:`QueryService.record_resilience`.
+    breaker_opens:
+        Circuit-breaker trips in the serving path's client pool
+        (:class:`~repro.endpoint.client.EndpointPool`).  **Mirrored gauge**,
+        assigned via :meth:`QueryService.record_resilience`; the chaos suite
+        asserts it exactly equals the injected kill schedule.
     """
 
     #: Fields the service mirrors *by assignment* from another cumulative
     #: counter instead of incrementing itself.  Two snapshots of one service
     #: both carry the full running total, so ``merge``/``add`` must take the
     #: max of these fields — summing would double-count every shared event.
-    MIRRORED_GAUGES = frozenset({"stale_rejections", "endpoint_requests", "shed_load"})
+    MIRRORED_GAUGES = frozenset(
+        {
+            "stale_rejections",
+            "endpoint_requests",
+            "shed_load",
+            "worker_restarts",
+            "breaker_opens",
+        }
+    )
 
     queries_served: int = 0
     batches_served: int = 0
@@ -111,6 +134,9 @@ class ServiceCounters:
     wal_failures: int = 0
     endpoint_requests: int = 0
     shed_load: int = 0
+    query_timeouts: int = 0
+    worker_restarts: int = 0
+    breaker_opens: int = 0
 
     def merge(self, other: "ServiceCounters") -> "ServiceCounters":
         """Return a new counter object with both contributions combined

@@ -53,7 +53,8 @@ from repro.core.metrics import BatchResult, QueryRecord
 from repro.core.processor import ProcessedQuery
 from repro.cost.model import CostModel, DEFAULT_COST_MODEL
 from repro.cost.resources import ResourceThrottle
-from repro.errors import SnapshotError
+from repro.errors import QueryTimeoutError, SnapshotError
+from repro.resilience.deadline import Deadline, deadline_scope
 from repro.execution import ExecutionResult
 from repro.persist.snapshot import (
     CapturedSnapshot,
@@ -152,6 +153,12 @@ class ServiceConfig:
         :meth:`QueryService.apply_wal_records`) run concurrently with
         serving — the follower workers and the churn benchmark's leader use
         this.  Implied by ``adaptive``.
+    default_deadline_seconds:
+        Wall-clock budget applied to every submission that does not carry
+        its own ``deadline_seconds`` (:mod:`repro.resilience.deadline`).
+        An over-budget execution raises
+        :class:`~repro.errors.QueryTimeoutError` and frees its thread;
+        ``None`` (the default) serves unbudgeted, exactly as before.
     """
 
     plan_cache_size: int = 1024
@@ -161,6 +168,7 @@ class ServiceConfig:
     adaptive: Optional[AdaptiveConfig] = None
     snapshot: Optional[SnapshotPolicy] = None
     gated: bool = False
+    default_deadline_seconds: Optional[float] = None
 
 
 @dataclass
@@ -366,17 +374,38 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
-    def run_query(self, query: QueryLike) -> ProcessedQuery:
-        """Serve one query (cache-aware single-query admission)."""
-        return self._serve([query], count_batch=False).executions[0]
+    def run_query(
+        self, query: QueryLike, *, deadline_seconds: Optional[float] = None
+    ) -> ProcessedQuery:
+        """Serve one query (cache-aware single-query admission).
 
-    def run_batch(self, queries: Sequence[QueryLike]) -> ServedBatch:
+        ``deadline_seconds`` caps the wall-clock execution budget
+        (overriding ``ServiceConfig.default_deadline_seconds``); an
+        over-budget execution raises
+        :class:`~repro.errors.QueryTimeoutError` — cooperatively, so the
+        executor thread is freed, never left hung.
+        """
+        return self._serve(
+            [query], count_batch=False, deadline_seconds=deadline_seconds
+        ).executions[0]
+
+    def run_batch(
+        self, queries: Sequence[QueryLike], *, deadline_seconds: Optional[float] = None
+    ) -> ServedBatch:
         """Serve a whole batch: dedup within the batch, check the result
         cache per distinct query, execute the misses concurrently, and emit
-        one :class:`QueryRecord` per submitted query in submission order."""
-        return self._serve(list(queries), count_batch=True)
+        one :class:`QueryRecord` per submitted query in submission order.
+        ``deadline_seconds`` is one shared budget for the whole batch; the
+        first over-budget execution raises
+        :class:`~repro.errors.QueryTimeoutError` for the batch."""
+        return self._serve(list(queries), count_batch=True, deadline_seconds=deadline_seconds)
 
-    def _serve(self, queries: List[QueryLike], count_batch: bool) -> ServedBatch:
+    def _serve(
+        self,
+        queries: List[QueryLike],
+        count_batch: bool,
+        deadline_seconds: Optional[float] = None,
+    ) -> ServedBatch:
         if self._closed:
             raise RuntimeError("QueryService is closed; create a new service to keep serving")
         self.dual._require_loaded()
@@ -387,6 +416,16 @@ class QueryService:
             # submissions (see tests/test_serve.py::TestRunBatchEdgeCases).
             return ServedBatch()
         plans = [self.resolve(query) for query in queries]
+
+        # One wall-clock budget per submission (shared across a batch): the
+        # clock starts here, after resolution, so the budget measures store
+        # execution — what the cooperative probes can actually cancel.
+        budget = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.config.default_deadline_seconds
+        )
+        deadline = Deadline(budget) if budget is not None else None
 
         # With adaptive tuning on, serves hold the gate shared so a tuning
         # epoch (exclusive) can never mutate the store between the generation
@@ -412,7 +451,9 @@ class QueryService:
 
             executed: Dict[str, ProcessedQuery] = {}
             if to_execute:
-                for plan, processed in zip(to_execute, self._execute_all(to_execute)):
+                for plan, processed in zip(
+                    to_execute, self._execute_all(to_execute, deadline)
+                ):
                     executed[plan.key] = processed
         finally:
             if self._gate is not None:
@@ -472,17 +513,19 @@ class QueryService:
                 self._maybe_checkpoint_gated()
         return ServedBatch(executions=entries, cache_hits=hit_count, coalesced=coalesced_count)
 
-    def _execute_all(self, plans: List[QueryPlan]) -> List[ProcessedQuery]:
+    def _execute_all(
+        self, plans: List[QueryPlan], deadline: Optional[Deadline] = None
+    ) -> List[ProcessedQuery]:
         if self.config.max_workers > 1:
             # Shard-probe parallelism is independent of batch width: a single
             # run_query over a sharded backend should scatter too.
             self._ensure_scatter_pool()
         if len(plans) == 1 or self.config.max_workers <= 1:
-            return [self._execute(plan) for plan in plans]
+            return [self._execute(plan, deadline) for plan in plans]
         pool = self._ensure_pool()
-        return list(pool.map(self._execute, plans))
+        return list(pool.map(lambda plan: self._execute(plan, deadline), plans))
 
-    def _execute(self, plan: QueryPlan) -> ProcessedQuery:
+    def _execute(self, plan: QueryPlan, deadline: Optional[Deadline] = None) -> ProcessedQuery:
         with self._metrics_lock:
             self.metrics.queue.enter()
         start = time.perf_counter()
@@ -491,7 +534,18 @@ class QueryService:
         # rejects it.
         generation = self.dual.generation
         try:
-            processed = self.dual.processor.process(plan.query, plan.complex_subquery)
+            # The deadline rides the executing thread as ambient state
+            # (thread-local), so the engine hot loops can probe it without
+            # any signature change; a trip raises QueryTimeoutError out of
+            # the probe, the finally below releases the queue slot, and the
+            # result-cache put is skipped (it only runs on success) — a
+            # timed-out query is never cached.
+            with deadline_scope(deadline):
+                processed = self.dual.processor.process(plan.query, plan.complex_subquery)
+        except QueryTimeoutError:
+            with self._metrics_lock:
+                self.metrics.counters.query_timeouts += 1
+            raise
         finally:
             wall = time.perf_counter() - start
             with self._metrics_lock:
@@ -622,6 +676,26 @@ class QueryService:
         with self._metrics_lock:
             self.metrics.counters.endpoint_requests = requests
             self.metrics.counters.shed_load = shed
+
+    def record_resilience(
+        self,
+        *,
+        worker_restarts: Optional[int] = None,
+        breaker_opens: Optional[int] = None,
+    ) -> None:
+        """Mirror resilience-subsystem cumulative totals into the counters.
+
+        The :class:`~repro.resilience.fleet.FleetMonitor` owns the restart
+        total and the :class:`~repro.endpoint.client.EndpointPool` owns the
+        breaker-trip total; both are **assigned** (mirrored-gauge
+        discipline, like :meth:`record_endpoint`), so one
+        ``metrics.snapshot()`` tells the whole resilience story.
+        """
+        with self._metrics_lock:
+            if worker_restarts is not None:
+                self.metrics.counters.worker_restarts = worker_restarts
+            if breaker_opens is not None:
+                self.metrics.counters.breaker_opens = breaker_opens
 
     def _on_mutation(self, generation: int) -> None:
         dropped = self.result_cache.invalidate_all()

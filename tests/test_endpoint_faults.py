@@ -93,11 +93,15 @@ class TestSaturation:
             assert time.monotonic() < deadline, "queue never filled"
             time.sleep(0.005)
 
+        # Retry-After scales with occupancy: base 3s × ceil(3 occupants /
+        # max_inflight 1) = 9s — a full queue tells clients to back off
+        # proportionally, not just "come back in the base interval".
         shed_responses = [sparql_request(endpoint.url, PROBE) for _ in range(3)]
         for response in shed_responses:
             assert response.status == 503
-            assert response.retry_after == 3.0
+            assert response.retry_after == 9.0
             assert response.json()["error"]["code"] == "overloaded"
+        assert endpoint.retry_after_hint() == 9
 
         release.set()
         for thread in threads:
@@ -114,6 +118,8 @@ class TestSaturation:
         assert metrics["endpoint"]["shed_load"] == 3
         assert metrics["service"]["counters"]["shed_load"] == 3
         assert service.metrics.counters.shed_load == 3
+        # Idle again: the hint relaxes back to the configured base.
+        assert endpoint.retry_after_hint() == 3
 
     def test_malformed_requests_never_consume_slots(self, endpoint_factory):
         """A 400 must come back even from a saturated endpoint: protocol
