@@ -43,6 +43,7 @@ The uncached path of the paper's experiments is ``dual.run_query``; DOTIL
 (:class:`Dotil`) tunes the physical design underneath either path.
 """
 
+from repro.analysis import LockGraph, LockOrderError
 from repro.core import (
     DEFAULT_CONFIG,
     PAPER_TUNED_CONFIG,
@@ -133,6 +134,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # analysis
+    "LockGraph",
+    "LockOrderError",
     # core
     "DualStore",
     "MoveReceipt",

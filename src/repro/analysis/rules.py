@@ -1,0 +1,518 @@
+"""The project's invariant rules (``REP001``–``REP006``).
+
+Each rule encodes one convention the serving system depends on; the rule
+docstrings are the normative statement, ``docs/architecture.md`` §11 the
+narrative rationale.  Rules are deliberately scoped by package-relative
+path (see :func:`repro.analysis.lint.module_subpath`) so a fixture file
+passed under a synthetic ``src/repro/...`` path is linted exactly like the
+real module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import Finding, LintModule, Rule
+
+__all__ = [
+    "ClockDisciplineRule",
+    "ThreadDisciplineRule",
+    "DurableRenameRule",
+    "ExceptionEvidenceRule",
+    "MirroredGaugeRule",
+    "MutationHookRule",
+    "DEFAULT_RULES",
+]
+
+
+# --------------------------------------------------------------------- #
+# Shared AST helpers
+# --------------------------------------------------------------------- #
+def _time_bindings(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+    """Names bound to the ``time`` module and to ``time.time``/``time.monotonic``."""
+    module_aliases: Set[str] = set()
+    member_aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    module_aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in ("time", "monotonic"):
+                    member_aliases.add(alias.asname or alias.name)
+    return module_aliases, member_aliases
+
+
+def _imported_names(tree: ast.Module, module: str, member: str) -> Set[str]:
+    """Local names bound to ``module.member`` via ``from module import member``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name == member:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _keyword_names(call: ast.Call) -> Set[Optional[str]]:
+    return {keyword.arg for keyword in call.keywords}
+
+
+def _walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _scopes(tree: ast.Module) -> Iterator[Tuple[Optional[str], Sequence[ast.stmt]]]:
+    """Yield ``(function_name, body)`` for module scope and every function."""
+    yield None, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node.body
+
+
+def _enclosing_functions(tree: ast.Module) -> Dict[ast.AST, str]:
+    """Map every AST node to the name of its innermost enclosing function."""
+    owners: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, owner: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_owner = owner
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_owner = child.name
+            if child_owner is not None:
+                owners[child] = child_owner
+            visit(child, child_owner)
+
+    visit(tree, None)
+    return owners
+
+
+# --------------------------------------------------------------------- #
+# REP001 — injected clocks only
+# --------------------------------------------------------------------- #
+class ClockDisciplineRule(Rule):
+    """No direct ``time.time()``/``time.monotonic()`` calls in modules that
+    declare injectable clocks (``resilience/*`` and ``endpoint/client.py``).
+
+    Those modules take a ``clock=`` parameter precisely so deterministic
+    tests can script time; a direct call in a method body silently escapes
+    the injection and reintroduces wall-clock flakiness.  A *reference*
+    such as the ``clock=time.monotonic`` default argument is fine — only
+    calls are flagged.
+    """
+
+    name = "REP001"
+    description = (
+        "no direct time.time()/time.monotonic() calls in clock-injectable "
+        "modules (resilience/*, endpoint/client.py); use the injected clock"
+    )
+
+    SCOPES = ("resilience/",)
+    FILES = ("endpoint/client.py",)
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.subpath.startswith(self.SCOPES) or module.subpath in self.FILES
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        module_aliases, member_aliases = _time_bindings(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("time", "monotonic")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                called = f"{func.value.id}.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in member_aliases:
+                called = func.id
+            else:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"direct {called}() call in a clock-injectable module; "
+                "route it through the injected clock",
+            )
+
+
+# --------------------------------------------------------------------- #
+# REP002 — background threads are identifiable and daemon-explicit
+# --------------------------------------------------------------------- #
+class ThreadDisciplineRule(Rule):
+    """Every ``threading.Thread(...)`` must pass ``name=`` and an explicit
+    ``daemon=``; every ``ThreadPoolExecutor(...)`` must pass
+    ``thread_name_prefix=``.
+
+    Post-mortems and the stuck-thread sweep identify threads by name, and
+    an implicit daemon flag (inherited from the creating thread) has
+    already shipped one silent thread leak.  Calls forwarding ``**kwargs``
+    are skipped — the linter cannot see through them.
+    """
+
+    name = "REP002"
+    description = (
+        "threading.Thread(...) must pass name= and explicit daemon=; "
+        "ThreadPoolExecutor(...) must pass thread_name_prefix="
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        thread_names = _imported_names(module.tree, "threading", "Thread")
+        pool_names = _imported_names(module.tree, "concurrent.futures", "ThreadPoolExecutor")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_thread = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "Thread"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading"
+            ) or (isinstance(func, ast.Name) and func.id in thread_names)
+            is_pool = (
+                isinstance(func, ast.Attribute) and func.attr == "ThreadPoolExecutor"
+            ) or (isinstance(func, ast.Name) and func.id in pool_names)
+            if not (is_thread or is_pool):
+                continue
+            keywords = _keyword_names(node)
+            if None in keywords:
+                continue  # **kwargs forwarding: opaque to static analysis
+            if is_thread:
+                missing = [kw for kw in ("name", "daemon") if kw not in keywords]
+                if missing:
+                    yield self.finding(
+                        module,
+                        node,
+                        "threading.Thread(...) without "
+                        + " and ".join(f"{kw}=" for kw in missing)
+                        + "; background threads must be named and daemon-explicit",
+                    )
+            elif "thread_name_prefix" not in keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "ThreadPoolExecutor(...) without thread_name_prefix=; "
+                    "pool threads must be identifiable in stack dumps",
+                )
+
+
+# --------------------------------------------------------------------- #
+# REP003 — durable renames carry an fsync
+# --------------------------------------------------------------------- #
+class DurableRenameRule(Rule):
+    """In ``persist/*``, a function calling ``os.rename``/``os.replace``
+    must also call an fsync (``os.fsync`` or an ``*fsync*`` helper such as
+    ``_fsync_dir``) in the same function.
+
+    A rename without a directory fsync is durable only until the first
+    power cut: the metadata journal may still hold the old directory
+    entry.  The snapshot store's publish path (``_write_file`` +
+    ``_fsync_dir`` + ``os.replace``) is the model.
+    """
+
+    name = "REP003"
+    description = (
+        "persist/*: os.rename/os.replace of durable files requires an "
+        "fsync in the same function"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.subpath.startswith("persist/")
+
+    @staticmethod
+    def _is_os_rename(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("rename", "replace")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os"
+        )
+
+    @staticmethod
+    def _is_fsync_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return "fsync" in func.attr
+        if isinstance(func, ast.Name):
+            return "fsync" in func.id
+        return False
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for _name, body in _scopes(module.tree):
+            renames = []
+            fsyncs = False
+            for node in _walk_scope(body):
+                if self._is_os_rename(node):
+                    renames.append(node)
+                elif self._is_fsync_call(node):
+                    fsyncs = True
+            if fsyncs:
+                continue
+            for node in renames:
+                yield self.finding(
+                    module,
+                    node,
+                    f"os.{node.func.attr}() without an fsync in the same "  # type: ignore[union-attr]
+                    "function; the rename is not durable across a crash",
+                )
+
+
+# --------------------------------------------------------------------- #
+# REP004 — swallowed exceptions leave evidence
+# --------------------------------------------------------------------- #
+class ExceptionEvidenceRule(Rule):
+    """A handler catching ``Exception``/``BaseException`` (or bare) must
+    re-raise, use the caught exception, or record evidence (a counter
+    increment or a ``last_*_error`` slot).
+
+    The WAL's poison-closed discipline is the model: a swallowed failure
+    bumps ``wal_failures`` and lands in ``last_wal_error``, so operators
+    can see it in ``/metrics`` instead of debugging a silent gap.
+    """
+
+    name = "REP004"
+    description = (
+        "broad except handlers must re-raise, use the caught exception, or "
+        "record a counter / last_*_error slot"
+    )
+
+    _EVIDENCE_ATTR = re.compile(r"(error|failure|retries|restart|count)", re.IGNORECASE)
+    _EVIDENCE_CALL = re.compile(r"^(record|note|count|incr|increment|observe|mark)", re.IGNORECASE)
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        kind = handler.type
+        if kind is None:
+            return True
+        names = []
+        if isinstance(kind, ast.Name):
+            names = [kind.id]
+        elif isinstance(kind, ast.Tuple):
+            names = [elt.id for elt in kind.elts if isinstance(elt, ast.Name)]
+        return any(name in ("Exception", "BaseException") for name in names)
+
+    def _has_evidence(self, handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound is not None and isinstance(node, ast.Name) and node.id == bound:
+                return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    elements = target.elts if isinstance(target, ast.Tuple) else [target]
+                    for element in elements:
+                        if isinstance(element, ast.Attribute) and self._EVIDENCE_ATTR.search(
+                            element.attr
+                        ):
+                            return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                callee = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id
+                    if isinstance(func, ast.Name)
+                    else ""
+                )
+                if self._EVIDENCE_CALL.match(callee):
+                    return True
+        return False
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if self._has_evidence(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "broad exception handler swallows the error without "
+                "re-raising, using it, or recording a counter/last_*_error",
+            )
+
+
+# --------------------------------------------------------------------- #
+# REP005 — mirrored gauges are assigned, never accumulated
+# --------------------------------------------------------------------- #
+class MirroredGaugeRule(Rule):
+    """Mirrored ``ServiceCounters`` gauges may only be written by plain
+    assignment at their registered mirror sites, never with ``+=``.
+
+    These five fields mirror cumulative totals owned elsewhere (the result
+    cache, the endpoint's admission gate, the fleet monitor, the replica
+    breakers); ``merge``/``add`` take ``max`` over them.  An ``+=``
+    anywhere — or an assignment outside the registered sites — would
+    double-count the owner's total.
+    """
+
+    name = "REP005"
+    description = (
+        "mirrored gauges (endpoint_requests, shed_load, stale_rejections, "
+        "worker_restarts, breaker_opens) are written by assignment at "
+        "registered mirror sites only, never +="
+    )
+
+    #: Mirrored fields of :class:`repro.serve.metrics.ServiceCounters`.
+    GAUGES = frozenset(
+        ["endpoint_requests", "shed_load", "stale_rejections", "worker_restarts", "breaker_opens"]
+    )
+    #: gauge -> {(module subpath, function name)} allowed to assign it.
+    MIRROR_SITES: Dict[str, Set[Tuple[str, str]]] = {
+        "stale_rejections": {("serve/service.py", "_serve")},
+        "endpoint_requests": {("serve/service.py", "record_endpoint")},
+        "shed_load": {("serve/service.py", "record_endpoint")},
+        "worker_restarts": {("serve/service.py", "record_resilience")},
+        "breaker_opens": {("serve/service.py", "record_resilience")},
+    }
+
+    @classmethod
+    def _gauge_target(cls, target: ast.AST) -> Optional[ast.Attribute]:
+        """The attribute node when ``target`` writes ``<counters>.<gauge>``."""
+        if not (isinstance(target, ast.Attribute) and target.attr in cls.GAUGES):
+            return None
+        receiver = target.value
+        receiver_name = (
+            receiver.attr
+            if isinstance(receiver, ast.Attribute)
+            else receiver.id
+            if isinstance(receiver, ast.Name)
+            else ""
+        )
+        # The discipline governs ServiceCounters instances; by project
+        # convention those are reachable as ``counters`` / ``*.counters``.
+        # Same-named fields on their owning objects (e.g. the result
+        # cache's own cumulative stale_rejections) are the mirrored
+        # *sources* and stay free to accumulate.
+        if receiver_name == "counters" or receiver_name.endswith("_counters"):
+            return target
+        return None
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        owners = _enclosing_functions(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AugAssign):
+                gauge = self._gauge_target(node.target)
+                if gauge is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"mirrored gauge {gauge.attr!r} written with an "
+                        "augmented assignment; mirror the owner's cumulative "
+                        "total by plain assignment instead",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    gauge = self._gauge_target(target)
+                    if gauge is None:
+                        continue
+                    site = (module.subpath, owners.get(node, ""))
+                    if site in self.MIRROR_SITES.get(gauge.attr, set()):
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"mirrored gauge {gauge.attr!r} assigned outside its "
+                        "registered mirror site(s) "
+                        + ", ".join(
+                            sorted(
+                                f"{path}:{func}"
+                                for path, func in self.MIRROR_SITES.get(gauge.attr, set())
+                            )
+                        ),
+                    )
+
+
+# --------------------------------------------------------------------- #
+# REP006 — DualStore mutations fire the listener hook
+# --------------------------------------------------------------------- #
+class MutationHookRule(Rule):
+    """Every public ``DualStore`` mutation method must fire the
+    mutation-listener hook — by calling ``self._bump_generation(...)``,
+    entering ``self.batch_mutations()``, or delegating to another mutation
+    method that does.
+
+    The hook is the seam the WAL, snapshot daemon, and cache invalidation
+    hang off; a mutation path that skips it silently desynchronises every
+    replica and cache in the system.
+    """
+
+    name = "REP006"
+    description = (
+        "public DualStore mutation methods must fire the mutation-listener "
+        "hook (_bump_generation / batch_mutations / delegation)"
+    )
+
+    MUTATORS = frozenset(
+        [
+            "load",
+            "insert",
+            "delete",
+            "transfer_partition",
+            "evict_partition",
+            "apply_moves",
+            "transfer_partitions",
+        ]
+    )
+    HOOKS = frozenset(["_bump_generation", "batch_mutations"])
+
+    def _fires_hook(self, method: ast.FunctionDef) -> bool:
+        allowed = self.HOOKS | (self.MUTATORS - {method.name})
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in allowed
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                return True
+        return False
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.ClassDef) and node.name == "DualStore"):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.FunctionDef):
+                    continue
+                if statement.name not in self.MUTATORS:
+                    continue
+                if self._fires_hook(statement):
+                    continue
+                yield self.finding(
+                    module,
+                    statement,
+                    f"DualStore.{statement.name}() never fires the mutation-"
+                    "listener hook (_bump_generation / batch_mutations / "
+                    "delegation to a hooked mutator)",
+                )
+
+
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    ClockDisciplineRule(),
+    ThreadDisciplineRule(),
+    DurableRenameRule(),
+    ExceptionEvidenceRule(),
+    MirroredGaugeRule(),
+    MutationHookRule(),
+)

@@ -124,6 +124,10 @@ class FleetMonitor:
         self._stop = threading.Event()
         #: Last exception a sweep swallowed (diagnostics; the loop survives).
         self.last_error: Optional[Exception] = None
+        #: Cumulative probe invocations that raised (vs. answering unhealthy).
+        self.probe_failures = 0
+        #: Last exception a health probe raised (diagnostics).
+        self.last_probe_error: Optional[Exception] = None
 
     # ------------------------------------------------------------------ #
     # Observation
@@ -132,6 +136,12 @@ class FleetMonitor:
     def total_restarts(self) -> int:
         with self._lock:
             return sum(self.restarts.values())
+
+    def _record_probe_failure(self, exc: Exception) -> None:
+        """A raising probe is *evidence*, not just "unhealthy": count it."""
+        with self._lock:
+            self.probe_failures += 1
+            self.last_probe_error = exc
 
     def _http_probe(self, url: str) -> bool:
         from repro.endpoint.client import TransportError, fetch_json
@@ -167,7 +177,8 @@ class FleetMonitor:
             if info is not None and info.get("port"):
                 try:
                     healthy = self._probe(self.supervisor.url(index))
-                except Exception:  # noqa: BLE001 - a broken probe is "unhealthy"
+                except Exception as exc:  # noqa: BLE001 - a broken probe is "unhealthy"
+                    self._record_probe_failure(exc)
                     healthy = False
             if healthy:
                 self._last_ok[index] = now
@@ -242,7 +253,7 @@ class FleetMonitor:
 
     def wait_healthy(self, timeout: float = 60.0) -> "FleetMonitor":
         """Block until every worker is alive and answers its health probe."""
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
         while True:
             healthy = True
             for index in self.supervisor.worker_indexes():
@@ -257,11 +268,12 @@ class FleetMonitor:
                     if not self._probe(self.supervisor.url(index)):
                         healthy = False
                         break
-                except Exception:  # noqa: BLE001
+                except Exception as exc:  # noqa: BLE001 - a broken probe is "unhealthy"
+                    self._record_probe_failure(exc)
                     healthy = False
                     break
             if healthy:
                 return self
-            if time.monotonic() >= deadline:
+            if self._clock() >= deadline:
                 raise TimeoutError(f"fleet not healthy within {timeout:.0f}s")
             time.sleep(0.05)

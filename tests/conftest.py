@@ -195,3 +195,26 @@ def live_endpoint(endpoint_factory):
     """A started endpoint over the shared synthetic dataset, with its
     backing service (for pinning wire bytes against direct answers)."""
     return endpoint_factory()
+
+
+# --------------------------------------------------------------------------- #
+# Lock-order race detection (repro.analysis.lockgraph)
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def lock_graph():
+    """Runtime lock-order detection for concurrency stress tests.
+
+    Project lock construction (``threading.Lock``/``RLock`` created by
+    ``repro`` code, plus :class:`~repro.serve.adaptive.ReadWriteLock`) is
+    instrumented for the duration of the test; at teardown the observed
+    acquisition-order graph must be **acyclic**, or the test fails with a
+    potential-deadlock report carrying both witness stacks per edge.  Build
+    the objects under test inside the test body — locks created before the
+    fixture entered stay untracked.
+    """
+    from repro.analysis.lockgraph import LockGraph, instrument
+
+    graph = LockGraph()
+    with instrument(graph):
+        yield graph
+    graph.assert_acyclic()

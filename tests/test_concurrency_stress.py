@@ -78,7 +78,12 @@ class ReaderWriterLock:
             self._condition.notify_all()
 
 
-def test_mixed_readers_and_mutators_never_observe_staleness_or_dropped_bindings(fingerprint):
+def test_mixed_readers_and_mutators_never_observe_staleness_or_dropped_bindings(
+    fingerprint, lock_graph
+):
+    # ``lock_graph`` (conftest) watches every project lock the run touches
+    # and fails the test at teardown if any acquisition-order cycle —
+    # a potential deadlock — was observed.
     dataset = generate_watdiv(target_triples=2500, seed=31)
     dual = DualStore(
         shards=4, sharding=ShardingConfig(skew_threshold=0.2, min_subject_shard_rows=16)
