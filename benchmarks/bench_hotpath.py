@@ -1,27 +1,38 @@
-"""Benchmark H1 — real wall-clock of the ID-space engine vs the reference.
+"""Benchmark H1 — real wall-clock: reference vs ID-space vs columnar.
 
 Unlike every other benchmark in this directory, the headline number here is
-**measured wall-clock**, not the modelled cost: the ID-space engine and the
-decode-per-row reference executor charge bit-identical logical work by
-construction (the differential suite pins that), so the only honest way to
-show the late-materialization speedup is to time both engines on the same
-join-heavy workload.
+**measured wall-clock**, not the modelled cost: all three engines charge
+bit-identical logical work by construction (the differential suite pins
+that), so the only honest way to show the late-materialization and
+vectorization speedups is to time them on the same join-heavy workload.
 
 Protocol
 --------
 For each dataset scale, the join-heavy WatDiv stand-in templates (snowflake +
-complex families, ≥ 3 patterns each) run through ``RelationalStore()`` (the
-ID-space engine, plan memo warm after the first pass — the serving-layer
-reality) and ``RelationalStore(engine="reference")``.  Each engine gets
-``BENCH_HOTPATH_REPEATS`` timed passes; the best pass counts.  Before timing,
-both engines' results are checked byte-identical (bindings, order, counters,
-modelled seconds).
+complex families, ≥ 3 patterns each) run through
+
+* ``RelationalStore(engine="reference")`` — decode-per-row baseline,
+* ``RelationalStore()`` — the ID-space engine (plan memo warm after the
+  first pass, the serving-layer reality),
+* ``RelationalStore(engine="columnar")`` — batch kernels over term-id
+  columns (numpy when importable), and
+* the same columnar engine with ``REPRO_COLUMNAR_FORCE_STDLIB=1`` — the
+  pure-stdlib ``array('q')`` kernel path, measured so the optional numpy
+  dependency never becomes load-bearing.
+
+Each engine gets ``BENCH_HOTPATH_REPEATS`` timed passes; the best pass
+counts.  Before timing, all engines' results are checked byte-identical
+(bindings, order, counters, modelled seconds).
 
 The results land in ``BENCH_hotpath.json`` so future PRs have a wall-clock
 trajectory to ratchet against.  At the *largest* scale the ID-space engine
-must beat the reference by at least ``BENCH_HOTPATH_MIN_SPEEDUP`` (default
-3×; CI's perf-smoke job runs small scales with a conservative 1.2× floor
-since shared runners are noisy).
+must beat the reference by ``BENCH_HOTPATH_MIN_SPEEDUP`` (default 3×), the
+columnar engine must beat the *ID-space* engine by
+``BENCH_HOTPATH_MIN_COLUMNAR_SPEEDUP`` (default 3×; CI's perf-smoke job runs
+small scales with conservative floors since shared runners are noisy), and
+the stdlib columnar path must stay at least
+``BENCH_HOTPATH_MIN_STDLIB_SPEEDUP`` (default: strictly faster than
+ID-space).
 
 Run with::
 
@@ -30,7 +41,8 @@ Run with::
     PYTHONPATH=src python benchmarks/bench_hotpath.py
 
 Environment knobs: ``BENCH_HOTPATH_SCALES`` (comma-separated triple counts),
-``BENCH_HOTPATH_MIN_SPEEDUP``, ``BENCH_HOTPATH_REPEATS``.
+``BENCH_HOTPATH_MIN_SPEEDUP``, ``BENCH_HOTPATH_MIN_COLUMNAR_SPEEDUP``,
+``BENCH_HOTPATH_MIN_STDLIB_SPEEDUP``, ``BENCH_HOTPATH_REPEATS``.
 """
 
 import json
@@ -44,12 +56,15 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro import RelationalStore, generate_watdiv, watdiv_workload  # noqa: E402
+from repro.relstore.columnar import FORCE_STDLIB_ENV, numpy_available  # noqa: E402
 from repro.relstore.executor import relational_work_units  # noqa: E402
 
 SCALES = tuple(
-    int(s) for s in os.environ.get("BENCH_HOTPATH_SCALES", "2000,6000,14000").split(",")
+    int(s) for s in os.environ.get("BENCH_HOTPATH_SCALES", "2000,8000,30000").split(",")
 )
 MIN_SPEEDUP = float(os.environ.get("BENCH_HOTPATH_MIN_SPEEDUP", "3.0"))
+MIN_COLUMNAR_SPEEDUP = float(os.environ.get("BENCH_HOTPATH_MIN_COLUMNAR_SPEEDUP", "3.0"))
+MIN_STDLIB_SPEEDUP = float(os.environ.get("BENCH_HOTPATH_MIN_STDLIB_SPEEDUP", "1.0"))
 REPEATS = int(os.environ.get("BENCH_HOTPATH_REPEATS", "3"))
 SEED = 7
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
@@ -62,6 +77,15 @@ def _join_heavy_queries(dataset):
         workload = watdiv_workload(dataset, family=family, seed=SEED)
         queries.extend(q for q in workload.ordered() if len(q.patterns) >= 3)
     return queries
+
+
+def _stdlib_columnar_store():
+    """A columnar store pinned to the stdlib kernels via the kill switch."""
+    os.environ[FORCE_STDLIB_ENV] = "1"
+    try:
+        return RelationalStore(engine="columnar")
+    finally:
+        os.environ.pop(FORCE_STDLIB_ENV, None)
 
 
 def _timed_pass(store, queries):
@@ -80,24 +104,26 @@ def _bench_engine(store, queries):
     return best, results
 
 
-def _assert_identical(idspace_results, reference_results, scale):
-    for index, (warm, cold) in enumerate(zip(idspace_results, reference_results)):
-        assert warm.variables == cold.variables, f"scale {scale}, query {index}: variables diverged"
-        assert warm.bindings == cold.bindings, f"scale {scale}, query {index}: bindings diverged"
+def _assert_identical(warm_results, reference_results, scale, label):
+    for index, (warm, cold) in enumerate(zip(warm_results, reference_results)):
+        context = f"scale {scale}, {label}, query {index}"
+        assert warm.variables == cold.variables, f"{context}: variables diverged"
+        assert warm.bindings == cold.bindings, f"{context}: bindings diverged"
         assert warm.counters.as_dict() == cold.counters.as_dict(), (
-            f"scale {scale}, query {index}: work counters diverged"
+            f"{context}: work counters diverged"
         )
-        assert warm.seconds == cold.seconds, (
-            f"scale {scale}, query {index}: modelled seconds diverged"
-        )
+        assert warm.seconds == cold.seconds, f"{context}: modelled seconds diverged"
 
 
-def test_idspace_engine_beats_reference_on_join_heavy_templates():
+def test_engines_beat_their_baselines_on_join_heavy_templates():
     report = {
         "benchmark": "hotpath",
         "workload": "watdiv snowflake+complex, >=3 patterns",
         "repeats": REPEATS,
+        "numpy_available": numpy_available(),
         "min_speedup_required_at_largest_scale": MIN_SPEEDUP,
+        "min_columnar_speedup_required_at_largest_scale": MIN_COLUMNAR_SPEEDUP,
+        "min_stdlib_columnar_speedup_required_at_largest_scale": MIN_STDLIB_SPEEDUP,
         "scales": [],
     }
     print()
@@ -106,15 +132,23 @@ def test_idspace_engine_beats_reference_on_join_heavy_templates():
         queries = _join_heavy_queries(dataset)
 
         reference = RelationalStore(engine="reference")
-        reference.load(dataset.triples)
         idspace = RelationalStore()
-        idspace.load(dataset.triples)
+        columnar = RelationalStore(engine="columnar")
+        stdlib_columnar = _stdlib_columnar_store()
+        for store in (reference, idspace, columnar, stdlib_columnar):
+            store.load(dataset.triples)
 
         reference_wall, reference_results = _bench_engine(reference, queries)
         idspace_wall, idspace_results = _bench_engine(idspace, queries)
-        _assert_identical(idspace_results, reference_results, scale)
+        columnar_wall, columnar_results = _bench_engine(columnar, queries)
+        stdlib_wall, stdlib_results = _bench_engine(stdlib_columnar, queries)
+        _assert_identical(idspace_results, reference_results, scale, "idspace")
+        _assert_identical(columnar_results, reference_results, scale, "columnar")
+        _assert_identical(stdlib_results, reference_results, scale, "columnar-stdlib")
 
         speedup = reference_wall / idspace_wall if idspace_wall > 0 else float("inf")
+        columnar_speedup = idspace_wall / columnar_wall if columnar_wall > 0 else float("inf")
+        stdlib_speedup = idspace_wall / stdlib_wall if stdlib_wall > 0 else float("inf")
         work = sum(relational_work_units(r.counters) for r in idspace_results)
         report["scales"].append(
             {
@@ -122,7 +156,12 @@ def test_idspace_engine_beats_reference_on_join_heavy_templates():
                 "queries": len(queries),
                 "reference_wall_seconds": reference_wall,
                 "idspace_wall_seconds": idspace_wall,
+                "columnar_wall_seconds": columnar_wall,
+                "columnar_stdlib_wall_seconds": stdlib_wall,
                 "speedup": speedup,
+                "columnar_speedup_over_idspace": columnar_speedup,
+                "columnar_stdlib_speedup_over_idspace": stdlib_speedup,
+                "columnar_kernels": columnar.table.kernels.name,
                 "work_units": work,
                 "identical_bindings_and_counters": True,
             }
@@ -130,20 +169,37 @@ def test_idspace_engine_beats_reference_on_join_heavy_templates():
         print(
             f"BENCH_HOTPATH triples={len(dataset.triples)} queries={len(queries)} "
             f"reference={reference_wall * 1000:.1f}ms idspace={idspace_wall * 1000:.1f}ms "
-            f"speedup={speedup:.2f}x work_units={work:.0f}"
+            f"columnar={columnar_wall * 1000:.1f}ms ({columnar.table.kernels.name}) "
+            f"columnar-stdlib={stdlib_wall * 1000:.1f}ms "
+            f"speedup={speedup:.2f}x columnar={columnar_speedup:.2f}x "
+            f"stdlib={stdlib_speedup:.2f}x work_units={work:.0f}"
         )
 
-    report["largest_scale_speedup"] = report["scales"][-1]["speedup"]
+    largest = report["scales"][-1]
+    report["largest_scale_speedup"] = largest["speedup"]
+    report["largest_scale_columnar_speedup"] = largest["columnar_speedup_over_idspace"]
+    report["largest_scale_columnar_stdlib_speedup"] = largest[
+        "columnar_stdlib_speedup_over_idspace"
+    ]
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print(f"BENCH_HOTPATH wrote {OUTPUT}")
 
-    largest = report["scales"][-1]
     assert largest["speedup"] >= MIN_SPEEDUP, (
         f"ID-space engine is only {largest['speedup']:.2f}x faster than the reference "
         f"executor at {largest['triples']} triples (required: {MIN_SPEEDUP}x)"
     )
+    assert largest["columnar_speedup_over_idspace"] >= MIN_COLUMNAR_SPEEDUP, (
+        f"columnar engine is only {largest['columnar_speedup_over_idspace']:.2f}x faster "
+        f"than the ID-space engine at {largest['triples']} triples "
+        f"(required: {MIN_COLUMNAR_SPEEDUP}x)"
+    )
+    assert largest["columnar_stdlib_speedup_over_idspace"] >= MIN_STDLIB_SPEEDUP, (
+        f"stdlib columnar path is {largest['columnar_stdlib_speedup_over_idspace']:.2f}x "
+        f"vs the ID-space engine at {largest['triples']} triples "
+        f"(required: {MIN_STDLIB_SPEEDUP}x)"
+    )
 
 
 if __name__ == "__main__":
-    test_idspace_engine_beats_reference_on_join_heavy_templates()
+    test_engines_beat_their_baselines_on_join_heavy_templates()
     print("ok")

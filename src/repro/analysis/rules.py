@@ -23,6 +23,7 @@ __all__ = [
     "ExceptionEvidenceRule",
     "MirroredGaugeRule",
     "MutationHookRule",
+    "BatchDecodeRule",
     "DEFAULT_RULES",
 ]
 
@@ -508,6 +509,75 @@ class MutationHookRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# REP007 — columnar kernels decode in batch, never per row
+# --------------------------------------------------------------------- #
+class BatchDecodeRule(Rule):
+    """No ``decode(...)``/``lookup(...)`` calls inside loop bodies in
+    ``relstore/columnar*``.
+
+    The columnar engine's whole bargain is batch kernels over id vectors: a
+    per-row dictionary round-trip inside a loop silently reverts a kernel to
+    row-at-a-time materialization, the exact hot-path regression this engine
+    exists to remove.  Loops (and comprehensions) must pre-resolve terms
+    through the batch surfaces — ``decode_many``/``lookup_many``, or
+    ``QueryTermSpace.decode_map`` — before iterating.
+    """
+
+    name = "REP007"
+    description = (
+        "relstore/columnar*: no decode()/lookup() calls inside loop bodies; "
+        "batch kernels must use decode_many/lookup_many"
+    )
+
+    #: The exact per-row call names banned inside loops.  The batch surfaces
+    #: (``decode_many``/``lookup_many``/``decode_map``) do not match.
+    BANNED = frozenset(["decode", "lookup"])
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.subpath.startswith("relstore/columnar")
+
+    @classmethod
+    def _loop_interiors(cls, tree: ast.Module) -> Iterator[ast.AST]:
+        """Every node that executes once per iteration of some loop."""
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                for statement in list(node.body) + list(node.orelse):
+                    yield from ast.walk(statement)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                per_iteration = (
+                    [node.key, node.value] if isinstance(node, ast.DictComp) else [node.elt]
+                )
+                per_iteration.extend(
+                    condition for comp in node.generators for condition in comp.ifs
+                )
+                for expression in per_iteration:
+                    yield from ast.walk(expression)
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        seen: Set[ast.AST] = set()
+        for node in self._loop_interiors(module.tree):
+            if not isinstance(node, ast.Call) or node in seen:
+                continue
+            seen.add(node)
+            func = node.func
+            called = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else ""
+            )
+            if called in self.BANNED:
+                yield self.finding(
+                    module,
+                    node,
+                    f"per-row {called}() inside a loop body in a columnar "
+                    "kernel; pre-resolve in batch with "
+                    f"{called}_many/decode_map before the loop",
+                )
+
+
 DEFAULT_RULES: Tuple[Rule, ...] = (
     ClockDisciplineRule(),
     ThreadDisciplineRule(),
@@ -515,4 +585,5 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     ExceptionEvidenceRule(),
     MirroredGaugeRule(),
     MutationHookRule(),
+    BatchDecodeRule(),
 )

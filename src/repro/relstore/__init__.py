@@ -1,6 +1,12 @@
 """Relational store (MySQL stand-in): triple table, planner, executor, views, SQLite, shards."""
 
 from repro.relstore.backend import RelationalBackend
+from repro.relstore.columnar import (
+    ColumnarExecutor,
+    ColumnarTripleTable,
+    numpy_available,
+    numpy_enabled,
+)
 from repro.relstore.executor import (
     BoundPlanCache,
     CompiledPlan,
@@ -9,7 +15,15 @@ from repro.relstore.executor import (
     compile_plan,
     relational_work_units,
 )
-from repro.relstore.planner import PatternAccess, RelationalPlan, plan_query
+from repro.relstore.planner import (
+    BATCH_KERNEL_COSTS,
+    KernelCostModel,
+    PatternAccess,
+    RelationalPlan,
+    ROW_KERNEL_COSTS,
+    kernel_costs_for_engine,
+    plan_query,
+)
 from repro.relstore.reference import ReferenceExecutor
 from repro.relstore.sharded import ShardedRelationalStore, ShardingConfig, ShardMetricsBoard
 from repro.relstore.sql_compiler import CompiledSQL, compile_select
@@ -26,8 +40,16 @@ __all__ = [
     "ShardingConfig",
     "ShardMetricsBoard",
     "TripleTable",
+    "ColumnarTripleTable",
+    "ColumnarExecutor",
+    "numpy_available",
+    "numpy_enabled",
     "RelationalExecutor",
     "ReferenceExecutor",
+    "KernelCostModel",
+    "ROW_KERNEL_COSTS",
+    "BATCH_KERNEL_COSTS",
+    "kernel_costs_for_engine",
     "BoundPlanCache",
     "CompiledPlan",
     "compile_pattern",

@@ -65,6 +65,12 @@ from repro.rdf.graph import TripleSet
 from repro.rdf.terms import IRI, Triple
 from repro.sparql.ast import SelectQuery, TriplePattern
 
+from repro.relstore.columnar import (
+    ColumnarTripleTable,
+    finish_columnar_pipeline,
+    join_block,
+    join_columnar_tables,
+)
 from repro.relstore.executor import (
     BoundPlanCache,
     CompiledPlan,
@@ -78,7 +84,7 @@ from repro.relstore.executor import (
     join_id_pattern_rows,
     match_id_rows,
 )
-from repro.relstore.planner import RelationalPlan, plan_query
+from repro.relstore.planner import RelationalPlan, kernel_costs_for_engine, plan_query
 from repro.relstore.stats import PredicateStatistics, TableStatistics, predicate_statistics
 from repro.relstore.store import capped_execution, estimate_relational_seconds
 from repro.relstore.table import Row, TripleTable
@@ -189,6 +195,14 @@ class ShardedRelationalStore:
         execution.
     config:
         Placement tunables (skew threshold for subject-sharding).
+    engine:
+        ``"idspace"`` (default) gathers integer id *tuples* from shard
+        probes; ``"columnar"`` backs every shard with a
+        :class:`~repro.relstore.columnar.ColumnarTripleTable` — probes
+        return id *columns*, the coordinator concatenates them per column in
+        shard order and joins with the batch kernels.  Either way the
+        central merge decodes exactly once, post-merge, and the logical
+        work counters are identical.
     """
 
     def __init__(
@@ -197,14 +211,19 @@ class ShardedRelationalStore:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         config: Optional[ShardingConfig] = None,
         dictionary: Optional[TermDictionary] = None,
+        engine: str = "idspace",
     ):
         if shards < 1:
             raise ValueError("a sharded store needs at least one shard")
+        if engine not in ("idspace", "columnar"):
+            raise ValueError(f"unknown sharded relational engine {engine!r}")
         self.shard_count = shards
         self.cost_model = cost_model
         self.config = config or ShardingConfig()
+        self.engine = engine
         self.dictionary = dictionary if dictionary is not None else TermDictionary()
-        self._tables = [TripleTable(self.dictionary) for _ in range(shards)]
+        table_cls = ColumnarTripleTable if engine == "columnar" else TripleTable
+        self._tables = [table_cls(self.dictionary) for _ in range(shards)]
         #: predicate_id -> owner shard index, or SUBJECT_SHARDED.
         self._placement: Dict[int, int] = {}
         #: term_id -> stable hash shard (memoized CRC32 of the term's N3
@@ -438,7 +457,12 @@ class ShardedRelationalStore:
     def plan(
         self, query: SelectQuery, pattern_order: Sequence[TriplePattern] | None = None
     ) -> RelationalPlan:
-        return plan_query(query, self.statistics(), pattern_order=pattern_order)
+        return plan_query(
+            query,
+            self.statistics(),
+            pattern_order=pattern_order,
+            kernel_costs=kernel_costs_for_engine(self.engine),
+        )
 
     def _bound_plan(self, query: SelectQuery) -> Tuple[RelationalPlan, CompiledPlan]:
         """The plan with every step's constants resolved once per store
@@ -464,6 +488,10 @@ class ShardedRelationalStore:
         Raises :class:`~repro.errors.WorkBudgetExceeded` at the same step
         boundaries, with the same partial work, as the unsharded store.
         """
+        if self.engine == "columnar":
+            return self._execute_columnar(
+                query, work_budget, extra_tables, tables_are_views, pattern_order
+            )
         if pattern_order is None:
             plan, compiled = self._bound_plan(query)
         else:
@@ -512,6 +540,75 @@ class ShardedRelationalStore:
         self._price(result, step_probe_work, shard_rows_scanned, unprobed_index_lookups)
         return result
 
+    def _execute_columnar(
+        self,
+        query: SelectQuery,
+        work_budget: Optional[float],
+        extra_tables: Optional[Iterable[ResultTable]],
+        tables_are_views: bool,
+        pattern_order: Sequence[TriplePattern] | None,
+    ) -> ExecutionResult:
+        """The columnar twin of :meth:`execute`: shard probes return id
+        *columns*, the coordinator concatenates them per column in shard
+        order (the exact order the id-tuple gather produces) and joins with
+        the batch kernels; decode still happens exactly once, post-merge, in
+        :func:`~repro.relstore.columnar.finish_columnar_pipeline`."""
+        if pattern_order is None:
+            plan, compiled = self._bound_plan(query)
+        else:
+            plan = self.plan(query, pattern_order=pattern_order)
+            compiled = compile_plan(plan, self.dictionary)
+        kernels = self._tables[0].kernels
+        counters = WorkCounters(queries_issued=1)
+        step_probe_work: List[List[Tuple[int, float]]] = []
+        shard_rows_scanned = 0
+        space = QueryTermSpace(self.dictionary)
+        schema: Tuple[str, ...] = ()
+        cols: List[object] = []
+        count = 1  # the pipeline seed: one zero-width row
+        schema, cols, count = join_columnar_tables(
+            schema, cols, count, extra_tables, space, counters, tables_are_views, work_budget, kernels
+        )
+
+        unprobed_index_lookups = 0
+        for step in compiled.steps:
+            # Guard before scattering: an empty pipeline charges zero work on
+            # later steps, exactly like the unsharded executors.
+            if count == 0:
+                break
+            probes = self._run_probes(self._scatter_targets(step), self._make_column_probe(step))
+            names = step.matcher.var_names
+            parts: List[List[object]] = [[] for _ in names]
+            total = 0
+            step_work: List[Tuple[int, float]] = []
+            for shard, scanned, _lookups, probe_seconds, fragment in probes:
+                counters.rows_scanned += scanned
+                shard_rows_scanned += scanned
+                step_work.append((shard, probe_seconds))
+                fragment_cols, fragment_count = fragment
+                if fragment_count:
+                    for bucket, column in zip(parts, fragment_cols):
+                        bucket.append(column)
+                    total += fragment_count
+            block_cols = [
+                kernels.concat(bucket) if bucket else kernels.empty() for bucket in parts
+            ]
+            # One *logical* index lookup per index step, exactly like the
+            # unsharded executors (see :meth:`execute`).
+            if self._is_index_step(step) and step.predicate_id is not None:
+                counters.index_lookups += 1
+                if not probes:
+                    unprobed_index_lookups += 1
+            step_probe_work.append(step_work)
+            schema, cols, count = join_block(
+                schema, cols, count, names, block_cols, total, counters, kernels
+            )
+            check_work_budget(counters, work_budget)
+
+        result = finish_columnar_pipeline(schema, cols, count, query, counters, space, kernels)
+        self._price(result, step_probe_work, shard_rows_scanned, unprobed_index_lookups)
+        return result
+
     def execute_capped(
         self, query: SelectQuery, work_budget: float
     ) -> Tuple[Optional[ExecutionResult], float]:
@@ -541,6 +638,7 @@ class ShardedRelationalStore:
         could not be re-derived from the rows alone."""
         return {
             "kind": "sharded",
+            "engine": self.engine,
             "shards": self.shard_count,
             "config": {
                 "skew_threshold": self.config.skew_threshold,
@@ -574,6 +672,8 @@ class ShardedRelationalStore:
                 min_subject_shard_rows=int(state["config"]["min_subject_shard_rows"]),
             ),
             dictionary=dictionary,
+            # Pre-columnar snapshots carry no engine field.
+            engine=state.get("engine", "idspace"),
         )
         store._placement = {int(pid): int(shard) for pid, shard in state["placement"].items()}
         for table, flat in zip(store._tables, state["shard_rows"]):
@@ -600,9 +700,16 @@ class ShardedRelationalStore:
         the unsharded executor); per-shard physical lookups are recorded in
         the probe tuples and the metrics board only.
         """
+        return self._run_probes(self._scatter_targets(step), self._make_probe(step))
+
+    def _scatter_targets(
+        self, step: CompiledStep
+    ) -> List[Tuple[int, str, Optional[tuple]]]:
+        """The ``(shard, access, args)`` probe targets of one plan step —
+        placement-derived and shared by the id-tuple and columnar gathers.
+        Empty when the step cannot match (unknown predicate or bound term)."""
         if step.access_path == "table_scan":
-            targets = [(shard, "table_scan", None) for shard in range(self.shard_count)]
-            return self._run_probes(step, targets)
+            return [(shard, "table_scan", None) for shard in range(self.shard_count)]
 
         predicate_id = step.predicate_id
         if predicate_id is None:
@@ -617,8 +724,8 @@ class ShardedRelationalStore:
                 shards: Sequence[int] = (self._shard_of_term(subject_id),)
             else:
                 shards = (placement,)
-            targets = [(shard, "lookup_subject", (predicate_id, subject_id)) for shard in shards]
-        elif step.access_path == "index_object":
+            return [(shard, "lookup_subject", (predicate_id, subject_id)) for shard in shards]
+        if step.access_path == "index_object":
             object_id = step.object_id
             if object_id is None or placement is None:
                 return []
@@ -626,23 +733,19 @@ class ShardedRelationalStore:
                 shards = range(self.shard_count)
             else:
                 shards = (placement,)
-            targets = [(shard, "lookup_object", (predicate_id, object_id)) for shard in shards]
-        elif step.access_path == "partition_scan":
+            return [(shard, "lookup_object", (predicate_id, object_id)) for shard in shards]
+        if step.access_path == "partition_scan":
             if placement is None:
                 return []
             if placement == SUBJECT_SHARDED:
                 shards = range(self.shard_count)
             else:
                 shards = (placement,)
-            targets = [(shard, "scan_predicate", (predicate_id,)) for shard in shards]
-        else:  # pragma: no cover - defensive, mirrors RelationalExecutor
-            raise QueryExecutionError(f"unknown access path {step.access_path!r}")
-        return self._run_probes(step, targets)
+            return [(shard, "scan_predicate", (predicate_id,)) for shard in shards]
+        # pragma: no cover - defensive, mirrors RelationalExecutor
+        raise QueryExecutionError(f"unknown access path {step.access_path!r}")
 
-    def _run_probes(
-        self, step: CompiledStep, targets: List[Tuple[int, str, Optional[tuple]]]
-    ) -> List[_Probe]:
-        probe = self._make_probe(step)
+    def _run_probes(self, targets: List[Tuple[int, str, Optional[tuple]]], probe) -> list:
         pool = self._scatter_pool
         if pool is not None and len(targets) > 1:
             try:
@@ -691,6 +794,48 @@ class ShardedRelationalStore:
                 local = WorkCounters()
                 fragment = match_id_rows(matcher, rows, local)
                 scanned = local.rows_scanned
+            finally:
+                seconds = cost_model.relational_scan_seconds(scanned, lookups)
+                board.finish(shard, scanned, lookups, seconds)
+            return (shard, scanned, lookups, seconds, fragment)
+
+        return probe
+
+    def _make_column_probe(self, step: CompiledStep):
+        """The columnar probe: scans match against the shard's cached column
+        blocks; point lookups mask the same blocks down to the index key
+        (order-identical to the secondary-index bucket walk, see
+        :func:`~repro.relstore.columnar.match_index_block`).  Work charging,
+        pricing, and the metrics board are identical to :meth:`_make_probe`
+        — only the fragment payload changes, to ``(columns, count)``."""
+        matcher = step.matcher
+        tables = self._tables
+        board = self.shard_metrics
+        cost_model = self.cost_model
+
+        def probe(target: Tuple[int, str, Optional[tuple]]):
+            shard, access, args = target
+            table = tables[shard]
+            board.begin(shard)
+            scanned = 0
+            lookups = 0
+            fragment: Tuple[List[object], int] = ([], 0)
+            try:
+                local = WorkCounters()
+                if access == "table_scan":
+                    _, fragment_cols, fragment_count = table.match_full(matcher, local)
+                elif access == "scan_predicate":
+                    _, fragment_cols, fragment_count = table.match_partition(
+                        matcher, args[0], local
+                    )
+                else:
+                    position = 0 if access == "lookup_subject" else 2
+                    lookups = 1
+                    _, fragment_cols, fragment_count = table.match_index(
+                        matcher, args[0], position, args[1], local
+                    )
+                scanned = local.rows_scanned
+                fragment = (list(fragment_cols), fragment_count)
             finally:
                 seconds = cost_model.relational_scan_seconds(scanned, lookups)
                 board.finish(shard, scanned, lookups, seconds)

@@ -20,11 +20,21 @@ __all__ = ["TableStatistics", "collect_statistics", "predicate_statistics"]
 
 @dataclass(frozen=True)
 class PredicateStatistics:
-    """Per-predicate statistics used for selectivity estimation."""
+    """Per-predicate statistics used for selectivity estimation.
+
+    ``max_subject_rows`` / ``max_object_rows`` record the *largest* point
+    lookup the predicate can serve (the hottest key's row count).  They feed
+    the planner's skew guard: under heavy skew the average lookup size wildly
+    underprices the lookups that actually dominate a batched join.  A value
+    of ``0`` means "not collected" (pre-skew snapshots); the ``worst_*``
+    properties then fall back to the average-based estimate.
+    """
 
     cardinality: int
     distinct_subjects: int
     distinct_objects: int
+    max_subject_rows: int = 0
+    max_object_rows: int = 0
 
     @property
     def avg_fanout(self) -> float:
@@ -58,6 +68,21 @@ class PredicateStatistics:
         if self.cardinality == 0:
             return 0
         return max(1, int(round(self.avg_fanin)))
+
+    @property
+    def worst_subject_rows(self) -> int:
+        """Largest ``(predicate, subject)`` lookup; average-based fallback
+        when the worst case was never collected."""
+        if self.cardinality == 0:
+            return 0
+        return self.max_subject_rows or self.subject_lookup_rows
+
+    @property
+    def worst_object_rows(self) -> int:
+        """Largest ``(predicate, object)`` lookup, with the same fallback."""
+        if self.cardinality == 0:
+            return 0
+        return self.max_object_rows or self.object_lookup_rows
 
 
 @dataclass
@@ -94,6 +119,23 @@ class TableStatistics:
             return stats.subject_lookup_rows
         return stats.object_lookup_rows
 
+    def estimate_index_rows_worst(self, pattern: TriplePattern, access_path: str) -> int:
+        """Worst-case row count of an index-path plan step (the hottest key).
+
+        The planner's skew guard compares this against the average estimate:
+        when the gap is large, pricing every lookup at the average picks
+        plans that are optimal for typical keys and pessimal for the keys a
+        batched join actually spends its time on.
+        """
+        if not isinstance(pattern.predicate, IRI):
+            return 0
+        stats = self.per_predicate.get(pattern.predicate)
+        if stats is None:
+            return 0
+        if access_path == "index_subject":
+            return stats.worst_subject_rows
+        return stats.worst_object_rows
+
     def estimate_pattern_rows(self, pattern: TriplePattern) -> int:
         """Estimated number of rows matching a single triple pattern."""
         if isinstance(pattern.predicate, IRI):
@@ -126,13 +168,21 @@ class TableStatistics:
         return {
             "total_rows": self.total_rows,
             "per_predicate": {
-                predicate.value: [s.cardinality, s.distinct_subjects, s.distinct_objects]
+                predicate.value: [
+                    s.cardinality,
+                    s.distinct_subjects,
+                    s.distinct_objects,
+                    s.max_subject_rows,
+                    s.max_object_rows,
+                ]
                 for predicate, s in self.per_predicate.items()
             },
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "TableStatistics":
+        # Pre-skew snapshots carry 3-entry lists; the worst-case fields then
+        # stay 0 and the ``worst_*`` properties fall back to the averages.
         return cls(
             total_rows=int(payload["total_rows"]),
             per_predicate={
@@ -140,6 +190,8 @@ class TableStatistics:
                     cardinality=int(entry[0]),
                     distinct_subjects=int(entry[1]),
                     distinct_objects=int(entry[2]),
+                    max_subject_rows=int(entry[3]) if len(entry) > 3 else 0,
+                    max_object_rows=int(entry[4]) if len(entry) > 4 else 0,
                 )
                 for value, entry in payload["per_predicate"].items()
             },
@@ -168,17 +220,19 @@ class TableStatistics:
 
 def predicate_statistics(rows: Iterable[Row]) -> PredicateStatistics:
     """Accumulate one predicate's statistics from its (possibly sharded) rows."""
-    subjects = set()
-    objects = set()
+    subject_counts: Dict[int, int] = {}
+    object_counts: Dict[int, int] = {}
     cardinality = 0
     for subject_id, _, object_id in rows:
         cardinality += 1
-        subjects.add(subject_id)
-        objects.add(object_id)
+        subject_counts[subject_id] = subject_counts.get(subject_id, 0) + 1
+        object_counts[object_id] = object_counts.get(object_id, 0) + 1
     return PredicateStatistics(
         cardinality=cardinality,
-        distinct_subjects=len(subjects),
-        distinct_objects=len(objects),
+        distinct_subjects=len(subject_counts),
+        distinct_objects=len(object_counts),
+        max_subject_rows=max(subject_counts.values(), default=0),
+        max_object_rows=max(object_counts.values(), default=0),
     )
 
 

@@ -22,13 +22,14 @@ from repro.rdf.graph import TripleSet
 from repro.rdf.terms import IRI, Triple
 from repro.sparql.ast import SelectQuery, TriplePattern
 
+from repro.relstore.columnar import ColumnarExecutor, ColumnarTripleTable
 from repro.relstore.executor import (
     BoundPlanCache,
     CompiledPlan,
     RelationalExecutor,
     relational_work_units,
 )
-from repro.relstore.planner import RelationalPlan, plan_query
+from repro.relstore.planner import RelationalPlan, kernel_costs_for_engine, plan_query
 from repro.relstore.reference import ReferenceExecutor
 from repro.relstore.stats import TableStatistics, collect_statistics
 from repro.relstore.table import TripleTable
@@ -79,10 +80,12 @@ class RelationalStore:
         row budget (used by the RDB-views baseline).
     engine:
         ``"idspace"`` (default) runs the late-materialization ID-space
-        engine with its bound-plan memo; ``"reference"`` runs the retained
-        decode-per-row executor (the differential oracle and the benchmark
-        baseline), which re-plans and re-resolves constants per execution
-        like the pre-PR-3 store did.
+        engine with its bound-plan memo; ``"columnar"`` runs the vectorized
+        columnar engine (term-id columns, mask selection, batched hash
+        joins — numpy-accelerated when available) with the same memo;
+        ``"reference"`` runs the retained decode-per-row executor (the
+        differential oracle and the benchmark baseline), which re-plans and
+        re-resolves constants per execution like the pre-PR-3 store did.
     dictionary:
         An existing term dictionary to encode against (the snapshot-restore
         path rebuilds the dictionary first so persisted integer rows keep
@@ -96,14 +99,19 @@ class RelationalStore:
         engine: str = "idspace",
         dictionary=None,
     ):
-        if engine not in ("idspace", "reference"):
+        if engine not in ("idspace", "reference", "columnar"):
             raise ValueError(f"unknown relational engine {engine!r}")
         self.cost_model = cost_model
         self.engine = engine
-        self.table = TripleTable(dictionary)
-        self._executor = (
-            RelationalExecutor(self.table) if engine == "idspace" else ReferenceExecutor(self.table)
-        )
+        if engine == "columnar":
+            self.table: TripleTable = ColumnarTripleTable(dictionary)
+            self._executor = ColumnarExecutor(self.table)
+        elif engine == "idspace":
+            self.table = TripleTable(dictionary)
+            self._executor = RelationalExecutor(self.table)
+        else:
+            self.table = TripleTable(dictionary)
+            self._executor = ReferenceExecutor(self.table)
         self._statistics: Optional[TableStatistics] = None
         #: query → (plan, compiled plan) memo, invalidated by generation.
         self._bound_plans = BoundPlanCache()
@@ -174,7 +182,12 @@ class RelationalStore:
     # Query execution
     # ------------------------------------------------------------------ #
     def plan(self, query: SelectQuery, pattern_order: Sequence[TriplePattern] | None = None) -> RelationalPlan:
-        return plan_query(query, self.statistics(), pattern_order=pattern_order)
+        return plan_query(
+            query,
+            self.statistics(),
+            pattern_order=pattern_order,
+            kernel_costs=kernel_costs_for_engine(self.engine),
+        )
 
     def _bound_plan(self, query: SelectQuery) -> tuple[RelationalPlan, CompiledPlan]:
         """The query's plan with constants pre-resolved, memoized per store
@@ -201,7 +214,7 @@ class RelationalStore:
             exception carries the partial work so the caller can price it.
         """
         compiled: Optional[CompiledPlan] = None
-        if self.engine == "idspace" and pattern_order is None:
+        if self.engine in ("idspace", "columnar") and pattern_order is None:
             plan, compiled = self._bound_plan(query)
         else:
             plan = self.plan(query, pattern_order=pattern_order)

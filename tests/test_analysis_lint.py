@@ -373,6 +373,68 @@ def test_rep006_only_governs_dualstore_classes():
 
 
 # --------------------------------------------------------------------------- #
+# REP007 — columnar kernels batch their dictionary round-trips
+# --------------------------------------------------------------------------- #
+REP007_BAD = """
+    def project(space, rows):
+        bindings = []
+        for row in rows:
+            bindings.append(tuple(space.decode(term_id) for term_id in row))
+        return bindings
+"""
+
+REP007_GOOD = """
+    def project(space, rows, width):
+        decoded = space.decode_many(sorted({term_id for row in rows for term_id in row}))
+        terms = dict(decoded)
+        return [tuple(terms[term_id] for term_id in row) for row in rows]
+"""
+
+
+def test_rep007_flags_per_row_decode_inside_loops():
+    findings = lint(REP007_BAD, "src/repro/relstore/columnar.py")
+    assert [finding.rule for finding in findings] == ["REP007"]
+    assert "decode" in findings[0].message
+
+
+def test_rep007_flags_lookup_in_while_loops_and_comprehension_conditions():
+    source = """
+        def probe(dictionary, terms):
+            index = 0
+            while index < len(terms):
+                dictionary.lookup(terms[index])
+                index += 1
+            return [t for t in terms if dictionary.lookup(t) is not None]
+    """
+    findings = lint(source, "src/repro/relstore/columnar_ext.py")
+    assert [finding.rule for finding in findings] == ["REP007", "REP007"]
+
+
+def test_rep007_accepts_batch_decode_surfaces():
+    assert rules_hit(REP007_GOOD, "src/repro/relstore/columnar.py") == []
+    batched = """
+        def probe(dictionary, terms):
+            ids = dictionary.lookup_many(terms)
+            return [i for i in ids if i is not None]
+    """
+    assert rules_hit(batched, "src/repro/relstore/columnar.py") == []
+
+
+def test_rep007_ignores_decode_outside_loops():
+    source = """
+        def resolve_constant(space, term):
+            return space.decode(space.encode(term))
+    """
+    assert rules_hit(source, "src/repro/relstore/columnar.py") == []
+
+
+def test_rep007_is_scoped_to_columnar_modules():
+    # Row engines legitimately decode per row; only columnar* is governed.
+    assert rules_hit(REP007_BAD, "src/repro/relstore/executor.py") == []
+    assert rules_hit(REP007_BAD, "src/repro/core/term_space.py") == []
+
+
+# --------------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------------- #
 def test_inline_suppression_on_the_flagged_line():

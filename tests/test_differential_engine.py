@@ -1,13 +1,15 @@
-"""Differential suite: the ID-space engine vs the decode-per-row reference.
+"""Differential suite: every derived engine vs the decode-per-row reference.
 
 The late-materialization executor (``RelationalStore(engine="idspace")``, the
-default) must be *indistinguishable in output* from the retained reference
-executor (``engine="reference"``): byte-identical result bindings (same
-solutions, same order, same dict contents) and bit-identical logical
+default) and the vectorized columnar engine (``engine="columnar"``) must be
+*indistinguishable in output* from the retained reference executor
+(``engine="reference"``): byte-identical result bindings (same solutions,
+same order, same dict contents) and bit-identical logical
 :class:`~repro.cost.counters.WorkCounters` — therefore identical modelled
 seconds — across every template family, unsharded and sharded, standalone
 and through ``DualStore.run_query`` with physical-design mutations
-interleaved.  Only wall-clock may differ; that is the whole point.
+interleaved, and across a persist round-trip.  Only wall-clock may differ;
+that is the whole point.
 """
 
 from __future__ import annotations
@@ -431,3 +433,266 @@ def test_sharded_dualstore_with_mutations_matches_reference(watdiv_dataset, fing
             fresh = _fresh_triples(watdiv_dataset, 3, salt=f"s{index}")
             cold_dual.insert(fresh)
             warm_dual.insert(fresh)
+
+
+# --------------------------------------------------------------------------- #
+# Columnar engine: the same oracle, through batch kernels
+# --------------------------------------------------------------------------- #
+def test_columnar_engine_matches_reference_for_every_family(family_workloads, reference_runs):
+    """Full family matrix: batch hash joins + mask selection + decode-once
+    projection must reproduce the reference byte-for-byte, bit-for-bit."""
+    for label, triples, queries in family_workloads:
+        store = RelationalStore(engine="columnar")
+        store.load(triples)
+        for index, (query, cold) in enumerate(zip(queries, reference_runs[label])):
+            warm = store.execute(query)
+            assert_identical(warm, cold, f"columnar {label}[{index}]")
+            assert warm.seconds == pytest.approx(cold.seconds, rel=0, abs=0)
+
+
+def test_columnar_stdlib_kernels_match_reference(monkeypatch, family_workloads, reference_runs):
+    """The numpy fast path is optional: with the kill-switch set the stdlib
+    ``array('q')`` kernels must produce the very same answers and work."""
+    monkeypatch.setenv("REPRO_COLUMNAR_FORCE_STDLIB", "1")
+    label, triples, queries = family_workloads[3]  # watdiv-complex
+    store = RelationalStore(engine="columnar")
+    store.load(triples)
+    assert store.table.kernels.name == "stdlib"
+    for index, (query, cold) in enumerate(zip(queries[:15], reference_runs[label])):
+        assert_identical(store.execute(query), cold, f"stdlib columnar [{index}]")
+
+
+def test_columnar_bound_plan_memo_stays_identical(family_workloads, reference_runs):
+    label, triples, queries = family_workloads[3]  # watdiv-complex
+    store = RelationalStore(engine="columnar")
+    store.load(triples)
+    first = [store.execute(q) for q in queries[:10]]
+    for index, query in enumerate(queries[:10]):
+        again = store.execute(query)
+        assert_identical(again, first[index], f"columnar memoized re-run [{index}]")
+        assert_identical(again, reference_runs[label][index], f"columnar memo vs reference [{index}]")
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_columnar_matches_reference_for_every_family(
+    shards, family_workloads, reference_runs, fingerprint
+):
+    """Sharded columnar: per-shard column fragments concatenated in shard
+    order must carry the same multiset of bindings and identical work."""
+    for label, triples, queries in family_workloads:
+        store = ShardedRelationalStore(shards=shards, config=AGGRESSIVE, engine="columnar")
+        store.load(triples)
+        for index, (query, cold) in enumerate(zip(queries, reference_runs[label])):
+            warm = store.execute(query)
+            assert fingerprint(warm) == fingerprint(cold), (
+                f"columnar {label}[{index}]: bindings diverged at N={shards}"
+            )
+            assert warm.counters.as_dict() == cold.counters.as_dict(), (
+                f"columnar {label}[{index}]: work diverged at N={shards}"
+            )
+
+
+def test_capped_execution_parity_columnar(watdiv_dataset):
+    """Budget aborts must land on the same step boundary in the columnar
+    engine — blocks are batched but the charges are per-step identical."""
+    reference = RelationalStore(engine="reference")
+    reference.load(watdiv_dataset.triples)
+    columnar = RelationalStore(engine="columnar")
+    columnar.load(watdiv_dataset.triples)
+    queries = watdiv_workload(watdiv_dataset, family="complex", seed=5).ordered()[:8]
+    for query in queries:
+        for budget in (1.0, 50.0, 1e9):
+            cold_result, cold_seconds = reference.execute_capped(query, work_budget=budget)
+            warm_result, warm_seconds = columnar.execute_capped(query, work_budget=budget)
+            assert (warm_result is None) == (cold_result is None)
+            assert warm_seconds == pytest.approx(cold_seconds, rel=0, abs=0)
+            if warm_result is not None:
+                assert_identical(warm_result, cold_result, f"columnar capped {budget}")
+
+
+@pytest.fixture(scope="module")
+def columnar_filter_store(mini_kg):
+    store = RelationalStore(engine="columnar")
+    store.load(mini_kg)
+    return store
+
+
+@pytest.mark.parametrize("text", FILTER_QUERIES)
+def test_columnar_filter_semantics_match_reference(columnar_filter_store, filter_store_pair, text):
+    _, reference = filter_store_pair
+    query = parse_query(text)
+    assert_identical(
+        columnar_filter_store.execute(query), reference.execute(query), f"columnar {text}"
+    )
+
+
+def test_columnar_nan_and_malformed_literals_match_reference():
+    """The vectorized equal-id selection must defer doubles to the value
+    comparison (NaN) and surface the same ValueError on malformed lexicals."""
+    age = YAGO.term("hasAge")
+    nan = Literal("nan", "http://www.w3.org/2001/XMLSchema#double")
+    triples = [
+        Triple(YAGO.term("Ann"), age, nan),
+        Triple(YAGO.term("Ben"), age, Literal.from_python(30.0)),
+    ]
+    reference = RelationalStore(engine="reference")
+    reference.load(triples)
+    columnar = RelationalStore(engine="columnar")
+    columnar.load(triples)
+    for operator in ("=", "!=", "<", "<=", ">", ">="):
+        query = parse_query("SELECT ?p WHERE { ?p y:hasAge ?x . FILTER(?x %s ?x) }" % operator)
+        assert_identical(
+            columnar.execute(query), reference.execute(query), f"columnar NaN {operator}"
+        )
+    broken = RelationalStore(engine="columnar")
+    broken.load([Triple(YAGO.term("Ann"), age, Literal("abc", "http://www.w3.org/2001/XMLSchema#integer"))])
+    with pytest.raises(ValueError):
+        broken.execute(parse_query("SELECT ?p WHERE { ?p y:hasAge ?x . FILTER(?x = ?x) }"))
+
+
+@pytest.fixture(scope="module")
+def columnar_edge_store(mini_kg):
+    store = RelationalStore(engine="columnar")
+    store.load(mini_kg)
+    store.insert([Triple(YAGO.term("Narcissus"), YAGO.term("isMarriedTo"), YAGO.term("Narcissus"))])
+    return store
+
+
+@pytest.mark.parametrize("text", EDGE_QUERIES)
+def test_columnar_edge_pattern_shapes_match_reference(columnar_edge_store, edge_store_pair, text):
+    _, reference = edge_store_pair
+    query = parse_query(text)
+    assert_identical(columnar_edge_store.execute(query), reference.execute(query), f"columnar {text}")
+
+
+def test_columnar_extra_tables_match_reference(mini_kg):
+    reference = RelationalStore(engine="reference")
+    reference.load(mini_kg)
+    columnar = RelationalStore(engine="columnar")
+    columnar.load(mini_kg)
+    shared = ResultTable(
+        name="tmp",
+        variables=("p", "tag"),
+        rows=[
+            (YAGO.term("Alice"), Literal("known")),
+            (YAGO.term("Eve"), Literal("known")),
+            (IRI("http://example.org/ghost"), Literal("phantom")),
+        ],
+    )
+    query = parse_query("SELECT ?p ?n ?tag WHERE { ?p y:hasGivenName ?n . }")
+    for tables_are_views in (False, True):
+        cold = reference.execute(query, extra_tables=[shared], tables_are_views=tables_are_views)
+        warm = columnar.execute(query, extra_tables=[shared], tables_are_views=tables_are_views)
+        assert_identical(warm, cold, f"columnar extra table (views={tables_are_views})")
+    # Disjoint table -> cartesian; empty first table -> later tables uncharged.
+    disjoint = ResultTable(name="tmp", variables=("x",), rows=[(Literal("a"),), (Literal("b"),)])
+    cartesian_query = parse_query("SELECT ?p ?x WHERE { ?p y:isMarriedTo ?q . }")
+    assert_identical(
+        columnar.execute(cartesian_query, extra_tables=[disjoint]),
+        reference.execute(cartesian_query, extra_tables=[disjoint]),
+        "columnar disjoint extra table",
+    )
+    empty = ResultTable(name="empty", variables=("p",), rows=[])
+    follow = ResultTable(name="follow", variables=("q",), rows=[(YAGO.term("Alice"),)])
+    short_query = parse_query("SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+    cold = reference.execute(short_query, extra_tables=[empty, follow])
+    warm = columnar.execute(short_query, extra_tables=[empty, follow])
+    assert_identical(warm, cold, "columnar empty extra table")
+    assert warm.counters.rows_scanned == len(empty)
+
+
+def test_columnar_dualstore_runs_identically_with_interleaved_mutations(watdiv_dataset):
+    """DualStore(engine="columnar") through the mutation gauntlet: partition
+    transfers, evictions, and inserts (which invalidate the cached column
+    blocks and age the bound-plan memo) between queries."""
+    workload = watdiv_workload(watdiv_dataset, seed=41)
+    queries = workload.randomized(seed=3)[:40]
+
+    cold_dual = DualStore(relational_store=RelationalStore(engine="reference")).load(
+        watdiv_dataset.triples
+    )
+    warm_dual = DualStore(engine="columnar").load(watdiv_dataset.triples)
+
+    rng = random.Random(7)
+    transferable = sorted({p for q in queries for p in q.predicates()}, key=lambda p: p.value)
+    transferred: list = []
+
+    for index, query in enumerate(queries):
+        cold = cold_dual.run_query(query)
+        warm = warm_dual.run_query(query)
+        assert warm.record.route == cold.record.route, f"route diverged at query {index}"
+        assert_identical(warm.result, cold.result, f"columnar query {index} on route {cold.record.route}")
+
+        action = index % 5
+        if action == 1 and transferable:
+            predicate = transferable.pop(rng.randrange(len(transferable)))
+            cold_dual.transfer_partition(predicate)
+            warm_dual.transfer_partition(predicate)
+            transferred.append(predicate)
+        elif action == 3 and transferred:
+            predicate = transferred.pop(0)
+            cold_dual.evict_partition(predicate)
+            warm_dual.evict_partition(predicate)
+        elif action == 4:
+            fresh = _fresh_triples(watdiv_dataset, 5, salt=str(index))
+            cold_dual.insert(fresh)
+            warm_dual.insert(fresh)
+            assert len(cold_dual.relational) == len(warm_dual.relational)
+
+    assert cold_dual.graph.loaded_predicates == warm_dual.graph.loaded_predicates
+    assert cold_dual.partition_sizes() == warm_dual.partition_sizes()
+
+
+def test_columnar_sharded_dualstore_with_mutations_matches_reference(watdiv_dataset, fingerprint):
+    workload = watdiv_workload(watdiv_dataset, seed=17)
+    queries = workload.randomized(seed=29)[:25]
+    cold_dual = DualStore(relational_store=RelationalStore(engine="reference")).load(
+        watdiv_dataset.triples
+    )
+    warm_dual = DualStore(shards=4, sharding=AGGRESSIVE, engine="columnar").load(
+        watdiv_dataset.triples
+    )
+    transferable = sorted({p for q in queries for p in q.predicates()}, key=lambda p: p.value)
+
+    for index, query in enumerate(queries):
+        cold = cold_dual.run_query(query)
+        warm = warm_dual.run_query(query)
+        assert warm.record.route == cold.record.route, f"route diverged at query {index}"
+        assert fingerprint(warm.result) == fingerprint(cold.result), f"bindings diverged at {index}"
+        assert warm.result.counters.as_dict() == cold.result.counters.as_dict(), (
+            f"work diverged at query {index}"
+        )
+        if index % 4 == 1 and transferable:
+            predicate = transferable.pop(0)
+            if cold_dual.graph.fits(cold_dual.relational.partition_size(predicate)):
+                cold_dual.transfer_partition(predicate)
+                warm_dual.transfer_partition(predicate)
+        elif index % 4 == 3:
+            fresh = _fresh_triples(watdiv_dataset, 3, salt=f"s{index}")
+            cold_dual.insert(fresh)
+            warm_dual.insert(fresh)
+
+
+@pytest.mark.parametrize("shards", (None, 4))
+def test_columnar_engine_survives_a_persist_round_trip(tmp_path, shards, watdiv_dataset, fingerprint):
+    """Snapshot/restore keeps engine="columnar" and the restored store's
+    answers and logical work stay identical to the pre-snapshot store."""
+    from repro.persist import load_snapshot, write_snapshot
+
+    kwargs = {"engine": "columnar"} if shards is None else {
+        "engine": "columnar", "shards": shards, "sharding": AGGRESSIVE
+    }
+    dual = DualStore(**kwargs).load(watdiv_dataset.triples)
+    queries = watdiv_workload(watdiv_dataset, seed=61).randomized(seed=67)[:10]
+    before = [dual.run_query(q).result for q in queries]
+
+    write_snapshot(dual, tmp_path / "snap")
+    restored = load_snapshot(tmp_path / "snap").dual
+    assert restored.relational.engine == "columnar"
+
+    for index, query in enumerate(queries):
+        after = restored.run_query(query).result
+        assert fingerprint(after) == fingerprint(before[index]), f"bindings diverged at {index}"
+        assert after.counters.as_dict() == before[index].counters.as_dict(), (
+            f"work diverged at query {index}"
+        )
